@@ -1,0 +1,105 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! * steering heuristic (producer/criticality vs Mod_N vs First_Fit,
+//!   §2.1's comparison space),
+//! * the imbalance threshold of the producer heuristic,
+//! * exploration configuration set (2/4/8/16 vs only 4/16),
+//! * distant-ILP threshold of the no-exploration scheme.
+
+use clustered_bench::{measure_instructions, run_experiment_with_steering, warmup_instructions};
+use clustered_core::{IntervalDistantIlp, IntervalDistantIlpConfig, IntervalExplore, IntervalExploreConfig};
+use clustered_sim::{FixedPolicy, SimConfig, SteeringKind};
+use clustered_stats::{geometric_mean, Table};
+
+fn suite_geomean(
+    cfg: SimConfig,
+    steering: SteeringKind,
+    make: &dyn Fn() -> Box<dyn clustered_sim::ReconfigPolicy>,
+    warmup: u64,
+    measure: u64,
+) -> f64 {
+    let ipcs: Vec<f64> = clustered_workloads::all()
+        .iter()
+        .map(|w| run_experiment_with_steering(w, cfg, make(), steering, warmup, measure).ipc())
+        .collect();
+    geometric_mean(&ipcs).unwrap_or(0.0)
+}
+
+fn main() {
+    let warmup = warmup_instructions();
+    let measure = measure_instructions();
+    let max_interval = (measure / 4).max(40_000);
+    let cfg = SimConfig::default();
+    println!("Ablations ({measure} measured instructions per run)\n");
+
+    println!("A. Steering heuristic (fixed 16 clusters):");
+    let mut t = Table::new(&["steering", "suite geomean IPC"]);
+    for (name, kind) in [
+        ("producer (thresh 4)", SteeringKind::Producer { imbalance_threshold: 4 }),
+        ("producer (thresh 1)", SteeringKind::Producer { imbalance_threshold: 1 }),
+        ("producer (thresh 12)", SteeringKind::Producer { imbalance_threshold: 12 }),
+        ("Mod_4", SteeringKind::ModN(4)),
+        ("First_Fit", SteeringKind::FirstFit),
+    ] {
+        let g = suite_geomean(cfg, kind, &|| Box::new(FixedPolicy::new(16)), warmup, measure);
+        t.row(&[name.to_string(), format!("{g:.3}")]);
+    }
+    println!("{t}");
+
+    println!("B. Criticality predictor (fixed 16 clusters):");
+    let mut t = Table::new(&["criticality source", "suite geomean IPC"]);
+    for (name, enabled) in [("trained table (paper)", true), ("arrival estimate", false)] {
+        let mut c = cfg;
+        c.crit.enabled = enabled;
+        let g = suite_geomean(c, SteeringKind::default(), &|| Box::new(FixedPolicy::new(16)), warmup, measure);
+        t.row(&[name.to_string(), format!("{g:.3}")]);
+    }
+    println!("{t}");
+
+    println!("C. Exploration configuration set (interval scheme):");
+    let mut t = Table::new(&["configs", "suite geomean IPC"]);
+    for (name, configs) in [
+        ("2/4/8/16", vec![2usize, 4, 8, 16]),
+        ("4/16", vec![4, 16]),
+        ("8/16", vec![8, 16]),
+    ] {
+        let configs2 = configs.clone();
+        let g = suite_geomean(
+            cfg,
+            SteeringKind::default(),
+            &move || {
+                Box::new(IntervalExplore::new(IntervalExploreConfig {
+                    max_interval,
+                    explore_configs: configs2.clone(),
+                    ..IntervalExploreConfig::default()
+                }))
+            },
+            warmup,
+            measure,
+        );
+        t.row(&[name.to_string(), format!("{g:.3}")]);
+    }
+    println!("{t}");
+
+    println!("D. Distant-ILP threshold (no-exploration scheme, 1K interval):");
+    let mut t = Table::new(&["threshold per 1000", "suite geomean IPC"]);
+    for threshold in [80u64, 160, 320] {
+        let g = suite_geomean(
+            cfg,
+            SteeringKind::default(),
+            &move || {
+                Box::new(IntervalDistantIlp::new(IntervalDistantIlpConfig {
+                    distant_threshold_per_k: threshold,
+                    ..IntervalDistantIlpConfig::default()
+                }))
+            },
+            warmup,
+            measure,
+        );
+        t.row(&[threshold.to_string(), format!("{g:.3}")]);
+    }
+    println!("{t}");
+    println!("The paper's choices — producer steering with a moderate imbalance");
+    println!("threshold, the full 2/4/8/16 exploration set, and the 160/1000");
+    println!("distant-ILP threshold — should be at or near the top of each table.");
+}

@@ -1,0 +1,41 @@
+//! Diagnostic dump of detailed simulator statistics for one workload
+//! under a handful of configurations. Intended for model debugging.
+
+use clustered_bench::run_experiment;
+use clustered_sim::{FixedPolicy, SimConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "galgel".to_string());
+    let w = clustered_workloads::by_name(&name).expect("known workload");
+    for (label, cfg, n) in [
+        ("mono", SimConfig::monolithic(), 1usize),
+        ("c4", SimConfig::default(), 4),
+        ("c16", SimConfig::default(), 16),
+    ] {
+        let s = run_experiment(&w, cfg, Box::new(FixedPolicy::new(n)), 30_000, 150_000);
+        println!("== {name} {label}: IPC {:.3}  cycles {}  committed {}", s.ipc(), s.cycles, s.committed);
+        println!(
+            "   branches {} cond {} mispred {} (interval {:.0})",
+            s.branches, s.cond_branches, s.mispredicts, s.mispredict_interval()
+        );
+        println!(
+            "   loads {} stores {} l1hit {:.3} l1miss {} l2miss {} forwards {}",
+            s.loads, s.stores, s.l1_hit_rate(), s.l1_misses, s.l2_misses, s.lsq_forwards
+        );
+        println!(
+            "   stalls: fetch {} rob {} resources {}  avg ROB {:.0}",
+            s.dispatch_stall_fetch,
+            s.dispatch_stall_rob,
+            s.dispatch_stall_resources,
+            s.rob_occupancy_sum as f64 / s.cycles as f64
+        );
+        println!(
+            "   regxfer {} ({:.2}/instr, {:.2} hops) cachexfer {} distant {:.3}",
+            s.reg_transfers,
+            s.reg_transfers as f64 / s.committed as f64,
+            s.avg_transfer_hops(),
+            s.cache_transfers,
+            s.distant_issues as f64 / s.committed as f64
+        );
+    }
+}

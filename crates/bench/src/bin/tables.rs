@@ -1,0 +1,106 @@
+//! Tables 1 and 2: the simulated processor and cache parameters.
+//!
+//! These are configuration constants rather than measurements; the
+//! binary prints the values actually used by `SimConfig::default()` so
+//! they can be diffed against the paper.
+
+use clustered_sim::{CacheParams, SimConfig};
+use clustered_stats::Table;
+
+fn main() {
+    let cfg = SimConfig::default();
+    println!("Table 1: Simplescalar-style simulator parameters\n");
+    let mut t1 = Table::new(&["parameter", "value"]);
+    let f = &cfg.frontend;
+    let b = &cfg.bpred;
+    let c = &cfg.clusters;
+    let rows: Vec<(String, String)> = vec![
+        ("Fetch queue size".into(), f.fetch_queue.to_string()),
+        ("Branch predictor".into(), "comb. of bimodal and 2-level".into()),
+        ("Bimodal predictor size".into(), b.bimodal_size.to_string()),
+        (
+            "Level 1 predictor".into(),
+            format!("{} entries, history {}", b.l1_size, b.history_bits),
+        ),
+        ("Level 2 predictor".into(), format!("{} entries", b.l2_size)),
+        ("BTB size".into(), format!("{} sets, {}-way", b.btb_sets, b.btb_ways)),
+        (
+            "Branch mispredict penalty".into(),
+            format!("at least {} cycles", f.mispredict_penalty),
+        ),
+        (
+            "Fetch width".into(),
+            format!("{} (across up to {} basic blocks)", f.fetch_width, f.max_basic_blocks),
+        ),
+        ("Dispatch and commit width".into(), f.dispatch_width.to_string()),
+        (
+            "Issue queue size".into(),
+            format!("{} in each cluster (int and fp, each)", c.int_iq),
+        ),
+        (
+            "Register file size".into(),
+            format!("{} in each cluster (int and fp, each)", c.int_regs),
+        ),
+        ("Re-order Buffer (ROB) size".into(), f.rob_size.to_string()),
+        ("Integer ALUs/mult-div".into(), format!("{}/{} (in each cluster)", c.int_alu, c.int_muldiv)),
+        ("FP ALUs/mult-div".into(), format!("{}/{} (in each cluster)", c.fp_alu, c.fp_muldiv)),
+        (
+            "L2 unified cache".into(),
+            format!(
+                "{}MB {}-way, {} cycles",
+                cfg.cache.l2_size / (1024 * 1024),
+                cfg.cache.l2_assoc,
+                cfg.cache.l2_latency
+            ),
+        ),
+        (
+            "Memory latency".into(),
+            format!("{} cycles for the first chunk", cfg.cache.mem_latency),
+        ),
+    ];
+    for (k, v) in rows {
+        t1.row(&[k, v]);
+    }
+    println!("{t1}");
+
+    println!("Table 2: cache parameters for the two L1 organisations\n");
+    let mut t2 = Table::new(&["parameter", "centralized", "decentralized (per cluster)"]);
+    let cache: CacheParams = cfg.cache;
+    let n = cfg.clusters.count;
+    let rows: Vec<(String, String, String)> = vec![
+        (
+            "Cache size".into(),
+            format!("{} KB", cache.l1_size / 1024),
+            format!("{} KB ({} KB total)", cache.l1_bank_size / 1024, cache.l1_bank_size * n / 1024),
+        ),
+        (
+            "Set-associativity".into(),
+            format!("{}-way", cache.l1_assoc),
+            format!("{}-way", cache.l1_assoc),
+        ),
+        (
+            "Line size".into(),
+            format!("{} bytes", cache.l1_line),
+            format!("{} bytes", cache.l1_bank_line),
+        ),
+        (
+            "Bandwidth".into(),
+            format!("{} words/cycle", cache.l1_banks),
+            "1 word/cycle per bank".into(),
+        ),
+        (
+            "RAM look-up time".into(),
+            format!("{} cycles", cache.l1_latency),
+            format!("{} cycles", cache.l1_bank_latency),
+        ),
+        (
+            "LSQ size".into(),
+            format!("{}", cache.lsq_per_cluster * n),
+            format!("{}", cache.lsq_per_cluster),
+        ),
+    ];
+    for (a, b, c) in rows {
+        t2.row(&[a, b, c]);
+    }
+    println!("{t2}");
+}

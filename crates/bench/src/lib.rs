@@ -1,0 +1,97 @@
+//! Experiment harness regenerating every table and figure of the
+//! paper's evaluation. Each binary under `src/bin/` reproduces one
+//! table or figure; this library holds the shared runner.
+//!
+//! Run lengths default to values that finish a full experiment in
+//! minutes on a laptop; set `CLUSTERED_MEASURE` / `CLUSTERED_WARMUP`
+//! (instruction counts) to trade time for fidelity.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use clustered_sim::{Processor, ReconfigPolicy, SimConfig, SimStats, SteeringKind};
+use clustered_workloads::Workload;
+
+/// Default measured instructions per run.
+pub const DEFAULT_MEASURE: u64 = 400_000;
+/// Default warm-up instructions per run.
+pub const DEFAULT_WARMUP: u64 = 50_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Measured instructions per run (`CLUSTERED_MEASURE` overrides).
+pub fn measure_instructions() -> u64 {
+    env_u64("CLUSTERED_MEASURE", DEFAULT_MEASURE)
+}
+
+/// Warm-up instructions per run (`CLUSTERED_WARMUP` overrides).
+pub fn warmup_instructions() -> u64 {
+    env_u64("CLUSTERED_WARMUP", DEFAULT_WARMUP)
+}
+
+/// Runs `workload` under `cfg` and `policy`, discarding a warm-up and
+/// returning statistics for the measured window.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the simulator reports an
+/// internal stall — both indicate harness bugs, not experiment
+/// outcomes.
+pub fn run_experiment(
+    workload: &Workload,
+    cfg: SimConfig,
+    policy: Box<dyn ReconfigPolicy>,
+    warmup: u64,
+    measure: u64,
+) -> SimStats {
+    run_experiment_with_steering(workload, cfg, policy, SteeringKind::default(), warmup, measure)
+}
+
+/// [`run_experiment`] with an explicit steering heuristic.
+///
+/// # Panics
+///
+/// As for [`run_experiment`].
+pub fn run_experiment_with_steering(
+    workload: &Workload,
+    cfg: SimConfig,
+    policy: Box<dyn ReconfigPolicy>,
+    steering: SteeringKind,
+    warmup: u64,
+    measure: u64,
+) -> SimStats {
+    let stream = workload
+        .trace()
+        .map(|r| r.unwrap_or_else(|e| panic!("workload faulted during simulation: {e}")));
+    let mut cpu = Processor::with_steering(cfg, stream, policy, steering)
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+    cpu.run(warmup).unwrap_or_else(|e| panic!("simulator stalled in warm-up: {e}"));
+    let before = *cpu.stats();
+    cpu.run(measure).unwrap_or_else(|e| panic!("simulator stalled: {e}"));
+    cpu.stats().delta_since(&before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustered_sim::FixedPolicy;
+    use clustered_workloads::by_name;
+
+    #[test]
+    fn run_experiment_measures_requested_window() {
+        let w = by_name("gzip").unwrap();
+        let s =
+            run_experiment(&w, SimConfig::default(), Box::new(FixedPolicy::new(4)), 5_000, 10_000);
+        assert!(s.committed >= 10_000);
+        assert!(s.committed < 12_000);
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert_eq!(measure_instructions(), DEFAULT_MEASURE);
+        assert_eq!(warmup_instructions(), DEFAULT_WARMUP);
+    }
+}

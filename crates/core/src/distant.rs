@@ -1,0 +1,302 @@
+//! The interval-based scheme *without* exploration (paper §4.3).
+//!
+//! Instead of trying every configuration, the policy runs one probe
+//! interval on all 16 clusters, counts how many instructions issued
+//! *distant* from the ROB head, and picks 16 clusters if there is
+//! enough distant ILP to use them, else 4. Because no exploration is
+//! needed, it reacts quickly, making small intervals (1K instructions)
+//! meaningful — at the cost of noisier measurements.
+
+use clustered_sim::{CommitEvent, ReconfigPolicy};
+
+/// Tunables of [`IntervalDistantIlp`], defaults per the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalDistantIlpConfig {
+    /// Fixed interval length in committed instructions.
+    pub interval_length: u64,
+    /// Distant-instruction count per 1000 committed above which the
+    /// wide configuration is chosen (paper: 160 per 1000).
+    pub distant_threshold_per_k: u64,
+    /// The narrow configuration (paper: 4 clusters).
+    pub narrow: usize,
+    /// The wide configuration, also used for probing (paper: 16).
+    pub wide: usize,
+    /// A branch/memref count change larger than
+    /// `interval_length / metric_divisor` signals a phase change.
+    pub metric_divisor: u64,
+    /// Relative IPC deviation treated as a phase change.
+    pub ipc_noise: f64,
+    /// Intervals discarded at start-up before the first probe (the
+    /// pipeline, predictors, and caches are still filling).
+    pub startup_skip: u64,
+}
+
+impl Default for IntervalDistantIlpConfig {
+    fn default() -> IntervalDistantIlpConfig {
+        IntervalDistantIlpConfig {
+            interval_length: 1_000,
+            distant_threshold_per_k: 160,
+            narrow: 4,
+            wide: 16,
+            metric_divisor: 100,
+            ipc_noise: 0.10,
+            startup_skip: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Probing at the wide configuration to measure distant ILP.
+    Probe,
+    /// Locked to a configuration until the phase changes.
+    Locked,
+}
+
+/// The §4.3 policy: probe on the wide machine, then lock to narrow or
+/// wide by the measured distant ILP.
+#[derive(Debug, Clone)]
+pub struct IntervalDistantIlp {
+    cfg: IntervalDistantIlpConfig,
+    mode: Mode,
+    current: usize,
+    instructions: u64,
+    start_cycle: u64,
+    branches: u64,
+    memrefs: u64,
+    distant: u64,
+    reference_branches: u64,
+    reference_memrefs: u64,
+    reference_ipc: f64,
+    have_reference: bool,
+    skip_left: u64,
+}
+
+impl Default for IntervalDistantIlp {
+    fn default() -> IntervalDistantIlp {
+        IntervalDistantIlp::new(IntervalDistantIlpConfig::default())
+    }
+}
+
+impl IntervalDistantIlp {
+    /// Builds the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_length` or `metric_divisor` is zero, or
+    /// `narrow >= wide`.
+    pub fn new(cfg: IntervalDistantIlpConfig) -> IntervalDistantIlp {
+        assert!(cfg.interval_length > 0, "interval length must be non-zero");
+        assert!(cfg.metric_divisor > 0, "metric divisor must be non-zero");
+        assert!(cfg.narrow < cfg.wide, "narrow config must be smaller than wide");
+        IntervalDistantIlp {
+            mode: Mode::Probe,
+            current: cfg.wide,
+            instructions: 0,
+            start_cycle: 0,
+            branches: 0,
+            memrefs: 0,
+            distant: 0,
+            reference_branches: 0,
+            reference_memrefs: 0,
+            reference_ipc: 0.0,
+            have_reference: false,
+            skip_left: cfg.startup_skip,
+            cfg,
+        }
+    }
+
+    /// Convenience constructor varying only the interval length (the
+    /// paper's Figure 5 shows 1K, 10K, and 100K variants).
+    pub fn with_interval(interval_length: u64) -> IntervalDistantIlp {
+        IntervalDistantIlp::new(IntervalDistantIlpConfig {
+            interval_length,
+            ..IntervalDistantIlpConfig::default()
+        })
+    }
+
+    /// The configuration currently selected.
+    pub fn current_clusters(&self) -> usize {
+        self.current
+    }
+
+    fn phase_changed(&self, ipc: f64) -> bool {
+        if !self.have_reference {
+            return false;
+        }
+        let threshold = (self.cfg.interval_length / self.cfg.metric_divisor).max(1);
+        if self.branches.abs_diff(self.reference_branches) > threshold {
+            return true;
+        }
+        if self.memrefs.abs_diff(self.reference_memrefs) > threshold {
+            return true;
+        }
+        self.reference_ipc > 0.0
+            && (ipc - self.reference_ipc).abs() / self.reference_ipc > self.cfg.ipc_noise
+    }
+
+    fn end_interval(&mut self, now: u64) -> Option<usize> {
+        let cycles = now.saturating_sub(self.start_cycle).max(1);
+        let ipc = self.instructions as f64 / cycles as f64;
+        match self.mode {
+            Mode::Probe => {
+                // Decide from the measured distant ILP.
+                let threshold =
+                    self.cfg.distant_threshold_per_k * self.cfg.interval_length / 1_000;
+                let choice =
+                    if self.distant > threshold { self.cfg.wide } else { self.cfg.narrow };
+                self.mode = Mode::Locked;
+                self.have_reference = true;
+                self.reference_branches = self.branches;
+                self.reference_memrefs = self.memrefs;
+                self.reference_ipc = 0.0; // set after the first locked interval
+                let changed = choice != self.current;
+                self.current = choice;
+                changed.then_some(choice)
+            }
+            Mode::Locked => {
+                if self.phase_changed(ipc) {
+                    // Re-probe on the wide machine.
+                    self.mode = Mode::Probe;
+                    self.have_reference = false;
+                    let changed = self.current != self.cfg.wide;
+                    self.current = self.cfg.wide;
+                    changed.then_some(self.cfg.wide)
+                } else {
+                    if self.reference_ipc == 0.0 {
+                        self.reference_ipc = ipc;
+                    }
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl ReconfigPolicy for IntervalDistantIlp {
+    fn name(&self) -> String {
+        format!("interval-distant/{}", self.cfg.interval_length)
+    }
+
+    fn initial_clusters(&self) -> usize {
+        self.cfg.wide
+    }
+
+    fn on_commit(&mut self, event: &CommitEvent) -> Option<usize> {
+        if self.instructions == 0 && self.start_cycle == 0 {
+            self.start_cycle = event.cycle;
+        }
+        self.instructions += 1;
+        if event.is_branch {
+            self.branches += 1;
+        }
+        if event.is_memref {
+            self.memrefs += 1;
+        }
+        if event.distant {
+            self.distant += 1;
+        }
+        if self.instructions < self.cfg.interval_length {
+            return None;
+        }
+        let request = if self.skip_left > 0 {
+            // Start-up interval: measurements are cold, discard them.
+            self.skip_left -= 1;
+            None
+        } else {
+            self.end_interval(event.cycle)
+        };
+        self.instructions = 0;
+        self.start_cycle = event.cycle;
+        self.branches = 0;
+        self.memrefs = 0;
+        self.distant = 0;
+        request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64, cycle: u64, distant: bool, is_branch: bool) -> CommitEvent {
+        CommitEvent {
+            seq,
+            pc: (seq % 64) as u32,
+            cycle,
+            is_branch,
+            is_cond_branch: is_branch,
+            is_call: false,
+            is_return: false,
+            is_memref: seq.is_multiple_of(4),
+            distant,
+            mispredicted: false,
+        }
+    }
+
+    fn drive(
+        p: &mut IntervalDistantIlp,
+        n: u64,
+        distant_frac_per_k: u64,
+        branch_every: u64,
+        seq0: u64,
+    ) -> (Vec<usize>, u64) {
+        let mut requests = Vec::new();
+        let mut seq = seq0;
+        for _ in 0..n {
+            seq += 1;
+            let distant = (seq % 1_000) < distant_frac_per_k;
+            if let Some(r) = p.on_commit(&event(seq, seq * 2, distant, seq.is_multiple_of(branch_every))) {
+                requests.push(r);
+            }
+        }
+        (requests, seq)
+    }
+
+    #[test]
+    fn high_distant_ilp_selects_wide() {
+        let mut p = IntervalDistantIlp::default();
+        assert_eq!(p.initial_clusters(), 16);
+        let (_, _) = drive(&mut p, 3_000, 400, 10, 0);
+        assert_eq!(p.current_clusters(), 16);
+    }
+
+    #[test]
+    fn low_distant_ilp_selects_narrow() {
+        let mut p = IntervalDistantIlp::default();
+        let (requests, _) = drive(&mut p, 2_000, 20, 10, 0);
+        assert_eq!(p.current_clusters(), 4);
+        assert!(requests.contains(&4));
+    }
+
+    #[test]
+    fn phase_change_reprobes_wide() {
+        let mut p = IntervalDistantIlp::default();
+        let (_, seq) = drive(&mut p, 5_000, 20, 10, 0);
+        assert_eq!(p.current_clusters(), 4);
+        // Branch density shift → re-probe at 16.
+        let (requests, _) = drive(&mut p, 1_000, 20, 3, seq);
+        assert!(requests.contains(&16), "re-probe expected: {requests:?}");
+    }
+
+    #[test]
+    fn threshold_scales_with_interval() {
+        let mut p = IntervalDistantIlp::with_interval(10_000);
+        // 170/1000 distant: just above the 160/1000 threshold.
+        let (_, _) = drive(&mut p, 20_000, 170, 10, 0);
+        assert_eq!(p.current_clusters(), 16);
+        let mut p = IntervalDistantIlp::with_interval(10_000);
+        let (_, _) = drive(&mut p, 20_000, 150, 10, 0);
+        assert_eq!(p.current_clusters(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "narrow config")]
+    fn rejects_inverted_configs() {
+        let _ = IntervalDistantIlp::new(IntervalDistantIlpConfig {
+            narrow: 16,
+            wide: 4,
+            ..Default::default()
+        });
+    }
+}

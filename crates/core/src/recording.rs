@@ -1,0 +1,208 @@
+//! A transparent recording wrapper around any policy: per-interval
+//! metrics plus the active-cluster decision, for timelines and CSV
+//! export.
+
+use crate::phase::IntervalRecord;
+use clustered_sim::{CommitEvent, ReconfigPolicy};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One recorded interval: the metrics plus the cluster count the
+/// wrapped policy had selected going *into* the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// Committed-instruction index at the end of the interval.
+    pub committed: u64,
+    /// The interval's metrics.
+    pub record: IntervalRecord,
+    /// Active clusters during (the start of) the interval.
+    pub clusters: usize,
+}
+
+/// Wraps a [`ReconfigPolicy`], forwarding every event while recording a
+/// per-interval timeline into a shared buffer.
+///
+/// # Examples
+///
+/// ```
+/// use clustered_core::{IntervalDistantIlp, Recording};
+/// use clustered_sim::{Processor, SimConfig};
+/// use clustered_workloads::by_name;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (policy, timeline) = Recording::new(IntervalDistantIlp::with_interval(1_000), 1_000);
+/// let w = by_name("gzip").expect("known workload");
+/// let stream = w.trace().map(Result::unwrap);
+/// let mut cpu = Processor::new(SimConfig::default(), stream, Box::new(policy))?;
+/// cpu.run(20_000)?;
+/// assert!(timeline.borrow().len() >= 19);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Recording<P> {
+    inner: P,
+    interval: u64,
+    current: IntervalRecord,
+    start_cycle: u64,
+    committed: u64,
+    clusters: usize,
+    out: Rc<RefCell<Vec<TimelineEntry>>>,
+}
+
+impl<P: ReconfigPolicy> Recording<P> {
+    /// Wraps `inner`, recording one [`TimelineEntry`] per `interval`
+    /// committed instructions into the returned shared buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(inner: P, interval: u64) -> (Recording<P>, Rc<RefCell<Vec<TimelineEntry>>>) {
+        assert!(interval > 0, "interval must be non-zero");
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let clusters = inner.initial_clusters();
+        (
+            Recording {
+                inner,
+                interval,
+                current: IntervalRecord::default(),
+                start_cycle: 0,
+                committed: 0,
+                clusters,
+                out: Rc::clone(&out),
+            },
+            out,
+        )
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: ReconfigPolicy> ReconfigPolicy for Recording<P> {
+    fn name(&self) -> String {
+        format!("{}+timeline", self.inner.name())
+    }
+
+    fn initial_clusters(&self) -> usize {
+        self.inner.initial_clusters()
+    }
+
+    fn on_commit(&mut self, event: &CommitEvent) -> Option<usize> {
+        if self.current.instructions == 0 && self.start_cycle == 0 {
+            self.start_cycle = event.cycle;
+        }
+        self.committed += 1;
+        self.current.instructions += 1;
+        if event.is_branch {
+            self.current.branches += 1;
+        }
+        if event.is_memref {
+            self.current.memrefs += 1;
+        }
+        if self.current.instructions >= self.interval {
+            self.current.cycles = event.cycle.saturating_sub(self.start_cycle).max(1);
+            self.out.borrow_mut().push(TimelineEntry {
+                committed: self.committed,
+                record: self.current,
+                clusters: self.clusters,
+            });
+            self.current = IntervalRecord::default();
+            self.start_cycle = event.cycle;
+        }
+        let request = self.inner.on_commit(event);
+        if let Some(n) = request {
+            self.clusters = n;
+        }
+        request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustered_sim::FixedPolicy;
+
+    fn event(seq: u64, cycle: u64) -> CommitEvent {
+        CommitEvent {
+            seq,
+            pc: 0,
+            cycle,
+            is_branch: seq.is_multiple_of(5),
+            is_cond_branch: false,
+            is_call: false,
+            is_return: false,
+            is_memref: seq.is_multiple_of(3),
+            distant: false,
+            mispredicted: false,
+        }
+    }
+
+    #[test]
+    fn records_one_entry_per_interval() {
+        let (mut p, out) = Recording::new(FixedPolicy::new(8), 100);
+        assert_eq!(p.initial_clusters(), 8);
+        for seq in 1..=250u64 {
+            assert_eq!(p.on_commit(&event(seq, seq * 2)), None);
+        }
+        let timeline = out.borrow();
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(timeline[0].committed, 100);
+        assert_eq!(timeline[0].clusters, 8);
+        assert_eq!(timeline[0].record.instructions, 100);
+        assert_eq!(timeline[0].record.branches, 20);
+        assert!(timeline[0].record.cycles >= 198);
+    }
+
+    #[test]
+    fn forwards_inner_requests_and_tracks_clusters() {
+        struct Flip(usize);
+        impl ReconfigPolicy for Flip {
+            fn name(&self) -> String {
+                "flip".into()
+            }
+            fn initial_clusters(&self) -> usize {
+                16
+            }
+            fn on_commit(&mut self, event: &CommitEvent) -> Option<usize> {
+                if event.seq.is_multiple_of(150) {
+                    self.0 = if self.0 == 16 { 4 } else { 16 };
+                    Some(self.0)
+                } else {
+                    None
+                }
+            }
+        }
+        let (mut p, out) = Recording::new(Flip(16), 100);
+        let mut requests = 0;
+        for seq in 1..=400u64 {
+            if p.on_commit(&event(seq, seq)).is_some() {
+                requests += 1;
+            }
+        }
+        assert_eq!(requests, 2, "inner requests must pass through");
+        let timeline = out.borrow();
+        assert_eq!(timeline.len(), 4);
+        assert_eq!(timeline[0].clusters, 16);
+        assert_eq!(timeline[1].clusters, 4, "first flip at seq 150 lands inside interval 2");
+        // The flip at seq 300 is processed after interval 3's entry is
+        // pushed, so that entry still reports the pre-flip machine.
+        assert_eq!(timeline[2].clusters, 4);
+        assert_eq!(timeline[3].clusters, 16, "interval 4 sees the second flip");
+    }
+
+    #[test]
+    fn name_marks_the_wrapper() {
+        let (p, _) = Recording::new(FixedPolicy::new(2), 10);
+        assert_eq!(p.name(), "fixed-2+timeline");
+        assert_eq!(p.inner().name(), "fixed-2");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_interval() {
+        let _ = Recording::new(FixedPolicy::new(2), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests of instruction semantics: the emulator's ALU,
+//! shifts, comparisons, and multiply/divide against direct Rust
+//! arithmetic, exercised through assembled programs.
+
+use clustered_emu::Machine;
+use clustered_isa::assemble;
+use proptest::prelude::*;
+
+/// Runs a fragment with `r1 = a`, `r2 = b` preloaded and returns `r3`.
+fn eval(op_line: &str, a: i64, b: i64) -> u64 {
+    let source = format!("li r1, {a}\nli r2, {b}\n{op_line}\nhalt");
+    let mut m = Machine::new(assemble(&source).expect("valid fragment"));
+    m.run_to_halt(10).expect("fragment runs");
+    assert!(m.is_halted());
+    m.int_reg(3)
+}
+
+proptest! {
+    #[test]
+    fn add_sub_match_wrapping(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval("add r3, r1, r2", a, b), (a as u64).wrapping_add(b as u64));
+        prop_assert_eq!(eval("sub r3, r1, r2", a, b), (a as u64).wrapping_sub(b as u64));
+    }
+
+    #[test]
+    fn bitwise_match(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval("and r3, r1, r2", a, b), (a & b) as u64);
+        prop_assert_eq!(eval("or r3, r1, r2", a, b), (a | b) as u64);
+        prop_assert_eq!(eval("xor r3, r1, r2", a, b), (a ^ b) as u64);
+    }
+
+    #[test]
+    fn shifts_take_amount_mod_64(a in any::<i64>(), sh in 0i64..256) {
+        prop_assert_eq!(eval("sll r3, r1, r2", a, sh), (a as u64).wrapping_shl(sh as u32));
+        prop_assert_eq!(eval("srl r3, r1, r2", a, sh), (a as u64).wrapping_shr(sh as u32));
+        prop_assert_eq!(eval("sra r3, r1, r2", a, sh), a.wrapping_shr(sh as u32) as u64);
+    }
+
+    #[test]
+    fn comparisons_match(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval("slt r3, r1, r2", a, b), u64::from(a < b));
+        prop_assert_eq!(eval("sltu r3, r1, r2", a, b), u64::from((a as u64) < (b as u64)));
+    }
+
+    #[test]
+    fn muldiv_match(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval("mul r3, r1, r2", a, b), a.wrapping_mul(b) as u64);
+        let div = if b == 0 { -1i64 } else { a.wrapping_div(b) };
+        let rem = if b == 0 { a } else { a.wrapping_rem(b) };
+        prop_assert_eq!(eval("div r3, r1, r2", a, b), div as u64);
+        prop_assert_eq!(eval("rem r3, r1, r2", a, b), rem as u64);
+    }
+
+    /// Memory round-trips through stores and loads of every width.
+    #[test]
+    fn store_load_round_trip(v in any::<i64>(), offset in 0i64..64) {
+        let source = format!(
+            ".data\nbuf: .space 128\n.text\n\
+             la r4, buf\n li r1, {v}\n\
+             sd r1, {offset}(r4)\n ld r3, {offset}(r4)\n\
+             sw r1, 64(r4)\n lw r5, 64(r4)\n\
+             sb r1, 72(r4)\n lbu r6, 72(r4)\n halt"
+        );
+        let mut m = Machine::new(assemble(&source).expect("valid"));
+        m.run_to_halt(20).expect("runs");
+        prop_assert_eq!(m.int_reg(3), v as u64);
+        prop_assert_eq!(m.int_reg(5), v as i32 as i64 as u64, "lw sign-extends");
+        prop_assert_eq!(m.int_reg(6), (v as u8) as u64, "lbu zero-extends");
+    }
+
+    /// Branch conditions agree with Rust comparisons.
+    #[test]
+    fn branch_conditions_match(a in any::<i64>(), b in any::<i64>()) {
+        for (mnemonic, expected) in [
+            ("beq", a == b),
+            ("bne", a != b),
+            ("blt", a < b),
+            ("bge", a >= b),
+            ("bltu", (a as u64) < (b as u64)),
+            ("bgeu", (a as u64) >= (b as u64)),
+        ] {
+            let source = format!(
+                "li r1, {a}\nli r2, {b}\n{mnemonic} r1, r2, yes\nli r3, 0\nhalt\nyes: li r3, 1\nhalt"
+            );
+            let mut m = Machine::new(assemble(&source).expect("valid"));
+            m.run_to_halt(10).expect("runs");
+            prop_assert_eq!(m.int_reg(3) == 1, expected, "{} {} {}", a, mnemonic, b);
+        }
+    }
+
+    /// The dynamic trace marks exactly the right instructions as
+    /// branches/memrefs, whatever the program.
+    #[test]
+    fn trace_event_classification(n in 1u32..30) {
+        let source = format!(
+            ".data\nbuf: .space 256\n.text\n\
+             la r2, buf\nli r1, {n}\n\
+             loop: sd r1, 0(r2)\n ld r3, 0(r2)\n addi r1, r1, -1\n bnez r1, loop\n halt"
+        );
+        let program = assemble(&source).expect("valid");
+        let records: Vec<_> = clustered_emu::trace(program)
+            .collect::<Result<_, _>>()
+            .expect("no fault");
+        let branches = records.iter().filter(|d| d.branch.is_some()).count();
+        let memrefs = records.iter().filter(|d| d.mem.is_some()).count();
+        prop_assert_eq!(branches, n as usize, "one bnez per iteration");
+        prop_assert_eq!(memrefs, 2 * n as usize, "one store + one load per iteration");
+    }
+}

@@ -1,0 +1,73 @@
+//! A compact 64-bit load/store virtual RISC ISA, with an assembler and
+//! disassembler, used as the instruction substrate of the `clustered`
+//! processor simulator.
+//!
+//! The ISA exists so that the timing simulator can consume *real*
+//! dynamic instruction streams — with genuine data dependences, branch
+//! behaviour, and memory access patterns — without requiring Alpha
+//! binaries. It is deliberately small (integer ALU, integer mul/div,
+//! double-precision FP, loads/stores of 1/4/8 bytes, branches, calls),
+//! which is all the workload kernels in `clustered-workloads` need.
+//!
+//! # Model
+//!
+//! * 32 integer registers `r0`..`r31` (`r0` is hardwired zero, `r30` =
+//!   `sp`, `r31` = `ra`), 32 FP registers `f0`..`f31` holding `f64`.
+//! * The program counter is an *instruction index* into the text
+//!   segment; every instruction advances it by 1.
+//! * Data lives at [`DATA_BASE`] and is byte-addressed; a conventional
+//!   stack top is exported as [`STACK_BASE`].
+//!
+//! # Assembler syntax
+//!
+//! One statement per line; `#` and `;` start comments; `label:` defines
+//! a symbol in the current section.
+//!
+//! ```text
+//! .data
+//! vec:   .word 1, 2, 3          # 64-bit little-endian values
+//! tab:   .word handler          # labels store their address/index
+//! buf:   .space 64              # zero bytes
+//!        .align 8
+//! pi:    .double 3.14159
+//! .text
+//! start: la   r1, vec           # load a symbol's address
+//!        ld   r2, 0(r1)         # memory operand: offset(base)
+//!        addi r2, r2, 1         # ALU ops accept register or immediate
+//!        beqz r2, done          # rich branch sugar (beqz/bnez/bgt/...)
+//!        call handler
+//! done:  halt
+//! handler: ret
+//! ```
+//!
+//! Execution begins at the `start` label if present, otherwise at the
+//! first instruction.
+//!
+//! # Examples
+//!
+//! ```
+//! use clustered_isa::{assemble, disassemble};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble("start: li r1, 7\n mul r2, r1, r1\n halt")?;
+//! assert_eq!(disassemble(&program.text()[1]), "mul r2, r1, r1");
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod asm;
+mod disasm;
+mod inst;
+mod program;
+mod reg;
+
+pub use asm::{assemble, AsmError};
+pub use disasm::disassemble;
+pub use inst::{
+    AluOp, BranchCond, FpCmpOp, FpOp, FpUnOp, Inst, MemWidth, MulDivOp, OpClass, Operand,
+};
+pub use program::{Program, Symbol, DATA_BASE, STACK_BASE};
+pub use reg::{ArchReg, FpReg, IntReg, NUM_FP_REGS, NUM_INT_REGS};

@@ -1,0 +1,163 @@
+//! The assembled program container.
+
+use crate::inst::Inst;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Base virtual address of the data segment.
+///
+/// Text addresses are instruction indices and live in a separate
+/// namespace; only data (and stack/heap) addresses refer to memory.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Base virtual address of the stack segment (the stack grows down
+/// from here; programs load it into `sp` themselves via `la`/`li`).
+pub const STACK_BASE: u64 = 0x7fff_0000;
+
+/// Where an assembler symbol points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// A label in the text segment: an instruction index.
+    Text(u32),
+    /// A label in the data segment: a virtual byte address.
+    Data(u64),
+}
+
+/// An assembled program: text, initialised data, and the symbol table.
+///
+/// # Examples
+///
+/// ```
+/// use clustered_isa::assemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = assemble(
+///     "start: li r1, 41
+///             addi r1, r1, 1
+///             halt",
+/// )?;
+/// assert_eq!(program.text().len(), 3);
+/// assert_eq!(program.entry(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    text: Vec<Inst>,
+    data: Vec<u8>,
+    entry: u32,
+    symbols: HashMap<String, Symbol>,
+}
+
+impl Program {
+    /// Builds a program from raw parts.
+    ///
+    /// `entry` is the instruction index where execution starts. Branch
+    /// targets inside `text` are not validated here; the emulator
+    /// reports out-of-range fetches at run time.
+    pub fn from_parts(
+        text: Vec<Inst>,
+        data: Vec<u8>,
+        entry: u32,
+        symbols: HashMap<String, Symbol>,
+    ) -> Program {
+        Program { text, data, entry, symbols }
+    }
+
+    /// The text segment.
+    pub fn text(&self) -> &[Inst] {
+        &self.text
+    }
+
+    /// The initialised data segment, loaded at [`DATA_BASE`].
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The entry point (an instruction index).
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Looks up a symbol by name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clustered_isa::{assemble, Symbol, DATA_BASE};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = assemble(".data\nbuf: .space 16\n.text\nhalt")?;
+    /// assert_eq!(p.symbol("buf"), Some(Symbol::Data(DATA_BASE)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Iterates over all symbols in unspecified order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, Symbol)> {
+        self.symbols.iter().map(|(name, &sym)| (name.as_str(), sym))
+    }
+
+    /// The instruction at index `pc`, or `None` past the end of text.
+    pub fn fetch(&self, pc: u32) -> Option<&Inst> {
+        self.text.get(pc as usize)
+    }
+}
+
+impl fmt::Display for Program {
+    /// Formats the program as disassembly (text labels interleaved).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut labels_at: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, sym) in self.symbols() {
+            if let Symbol::Text(idx) = sym {
+                labels_at.entry(idx).or_default().push(name);
+            }
+        }
+        for (idx, inst) in self.text.iter().enumerate() {
+            if let Some(names) = labels_at.get(&(idx as u32)) {
+                for name in names {
+                    writeln!(f, "{name}:")?;
+                }
+            }
+            writeln!(f, "    {}", crate::disasm::disassemble(inst))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = Program::from_parts(vec![Inst::Halt], vec![], 0, HashMap::new());
+        assert_eq!(p.fetch(0), Some(&Inst::Halt));
+        assert_eq!(p.fetch(1), None);
+    }
+
+    #[test]
+    fn symbols_round_trip() {
+        let mut syms = HashMap::new();
+        syms.insert("main".to_string(), Symbol::Text(0));
+        syms.insert("buf".to_string(), Symbol::Data(DATA_BASE + 8));
+        let p = Program::from_parts(vec![Inst::Halt], vec![0; 16], 0, syms);
+        assert_eq!(p.symbol("main"), Some(Symbol::Text(0)));
+        assert_eq!(p.symbol("buf"), Some(Symbol::Data(DATA_BASE + 8)));
+        assert_eq!(p.symbol("missing"), None);
+        assert_eq!(p.symbols().count(), 2);
+    }
+
+    #[test]
+    fn display_includes_labels() {
+        let mut syms = HashMap::new();
+        syms.insert("main".to_string(), Symbol::Text(0));
+        let p = Program::from_parts(vec![Inst::Halt], vec![], 0, syms);
+        let s = p.to_string();
+        assert!(s.contains("main:"));
+        assert!(s.contains("halt"));
+    }
+}

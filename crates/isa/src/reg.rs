@@ -1,0 +1,226 @@
+//! Register names and identifiers.
+//!
+//! The virtual ISA has 32 integer registers (`r0`..`r31`) and 32
+//! floating-point registers (`f0`..`f31`). `r0` reads as zero and ignores
+//! writes. `r31` (alias `ra`) receives the return address of `call`, and
+//! `r30` (alias `sp`) is the conventional stack pointer.
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+
+/// An architectural integer register (`r0`..`r31`).
+///
+/// `r0` is hardwired to zero.
+///
+/// # Examples
+///
+/// ```
+/// use clustered_isa::IntReg;
+/// let ra = IntReg::RA;
+/// assert_eq!(ra.index(), 31);
+/// assert_eq!(ra.to_string(), "ra");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: IntReg = IntReg(0);
+    /// The conventional stack pointer `r30`.
+    pub const SP: IntReg = IntReg(30);
+    /// The link (return-address) register `r31`.
+    pub const RA: IntReg = IntReg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clustered_isa::IntReg;
+    /// assert!(IntReg::new(5).is_some());
+    /// assert!(IntReg::new(32).is_none());
+    /// ```
+    pub fn new(index: u8) -> Option<IntReg> {
+        (index < NUM_INT_REGS as u8).then_some(IntReg(index))
+    }
+
+    /// The register index, in `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IntReg::SP => write!(f, "sp"),
+            IntReg::RA => write!(f, "ra"),
+            IntReg(i) => write!(f, "r{i}"),
+        }
+    }
+}
+
+/// An architectural floating-point register (`f0`..`f31`).
+///
+/// # Examples
+///
+/// ```
+/// use clustered_isa::FpReg;
+/// let f = FpReg::new(3).unwrap();
+/// assert_eq!(f.to_string(), "f3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    pub fn new(index: u8) -> Option<FpReg> {
+        (index < NUM_FP_REGS as u8).then_some(FpReg(index))
+    }
+
+    /// The register index, in `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A register in the unified (integer + floating-point) namespace.
+///
+/// The rename and steering stages of the timing simulator track data
+/// dependences without caring which file a register lives in; `ArchReg`
+/// is the identifier they use.
+///
+/// # Examples
+///
+/// ```
+/// use clustered_isa::{ArchReg, IntReg, FpReg};
+/// let a = ArchReg::Int(IntReg::RA);
+/// let b = ArchReg::Fp(FpReg::new(0).unwrap());
+/// assert!(a.is_int());
+/// assert!(!b.is_int());
+/// assert_ne!(a.unified_index(), b.unified_index());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArchReg {
+    /// An integer register.
+    Int(IntReg),
+    /// A floating-point register.
+    Fp(FpReg),
+}
+
+impl ArchReg {
+    /// Whether this names an integer register.
+    pub fn is_int(self) -> bool {
+        matches!(self, ArchReg::Int(_))
+    }
+
+    /// A dense index in `0..64`: integer registers map to `0..32`,
+    /// floating-point registers to `32..64`.
+    pub fn unified_index(self) -> usize {
+        match self {
+            ArchReg::Int(r) => r.index() as usize,
+            ArchReg::Fp(r) => NUM_INT_REGS + r.index() as usize,
+        }
+    }
+
+    /// Inverse of [`ArchReg::unified_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    pub fn from_unified_index(index: usize) -> ArchReg {
+        if index < NUM_INT_REGS {
+            ArchReg::Int(IntReg(index as u8))
+        } else {
+            assert!(index < NUM_INT_REGS + NUM_FP_REGS, "register index out of range");
+            ArchReg::Fp(FpReg((index - NUM_INT_REGS) as u8))
+        }
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchReg::Int(r) => r.fmt(f),
+            ArchReg::Fp(r) => r.fmt(f),
+        }
+    }
+}
+
+impl From<IntReg> for ArchReg {
+    fn from(r: IntReg) -> ArchReg {
+        ArchReg::Int(r)
+    }
+}
+
+impl From<FpReg> for ArchReg {
+    fn from(r: FpReg) -> ArchReg {
+        ArchReg::Fp(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_bounds() {
+        assert_eq!(IntReg::new(0), Some(IntReg::ZERO));
+        assert_eq!(IntReg::new(31), Some(IntReg::RA));
+        assert_eq!(IntReg::new(32), None);
+        assert_eq!(IntReg::new(255), None);
+    }
+
+    #[test]
+    fn fp_reg_bounds() {
+        assert!(FpReg::new(31).is_some());
+        assert!(FpReg::new(32).is_none());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(!IntReg::RA.is_zero());
+    }
+
+    #[test]
+    fn display_aliases() {
+        assert_eq!(IntReg::new(7).unwrap().to_string(), "r7");
+        assert_eq!(IntReg::SP.to_string(), "sp");
+        assert_eq!(IntReg::RA.to_string(), "ra");
+        assert_eq!(FpReg::new(12).unwrap().to_string(), "f12");
+    }
+
+    #[test]
+    fn unified_index_round_trip() {
+        for i in 0..64 {
+            let r = ArchReg::from_unified_index(i);
+            assert_eq!(r.unified_index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unified_index_out_of_range() {
+        let _ = ArchReg::from_unified_index(64);
+    }
+}

@@ -1,0 +1,109 @@
+//! Two-level bank predictor for the decentralized cache (paper §5,
+//! after Yoaz et al.).
+//!
+//! At rename, the bank a load/store will access is unknown; the
+//! predictor guesses it from the instruction's bank history so the
+//! instruction can be steered to the cluster owning that bank. The
+//! predictor always produces a full 4-bit bank number; when fewer
+//! clusters are active the caller masks to the low-order bits, which is
+//! why (as the paper notes) the predictor need not be flushed on
+//! reconfiguration.
+
+use crate::config::BankPredParams;
+
+/// Two-level bank predictor: a per-PC history of recent banks indexing
+/// a pattern table of last-seen banks.
+#[derive(Debug, Clone)]
+pub struct BankPredictor {
+    history: Vec<u32>,
+    history_mask: u32,
+    pattern: Vec<u8>,
+}
+
+impl BankPredictor {
+    /// Builds a predictor with the given geometry.
+    pub fn new(params: &BankPredParams) -> BankPredictor {
+        BankPredictor {
+            history: vec![0; params.l1_size],
+            history_mask: (1u32 << params.history_bits) - 1,
+            pattern: vec![0; params.l2_size],
+        }
+    }
+
+    fn pattern_index(&self, pc: u32) -> usize {
+        let hist = self.history[pc as usize % self.history.len()] as usize;
+        // XOR-fold the PC into the index (gshare-style): shifting it
+        // past the history bits would put it entirely above the table
+        // modulus with the default 12-bit history.
+        (hist ^ (pc as usize).wrapping_mul(0x9e37)) % self.pattern.len()
+    }
+
+    /// Predicts the (full-width) bank for the memory instruction at
+    /// `pc`.
+    pub fn predict(&self, pc: u32) -> u8 {
+        self.pattern[self.pattern_index(pc)]
+    }
+
+    /// Trains the predictor with the resolved bank.
+    pub fn update(&mut self, pc: u32, bank: u8) {
+        let pi = self.pattern_index(pc);
+        self.pattern[pi] = bank;
+        let hi = pc as usize % self.history.len();
+        self.history[hi] = ((self.history[hi] << 4) | (bank as u32 & 15)) & self.history_mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> BankPredictor {
+        BankPredictor::new(&BankPredParams::default())
+    }
+
+    #[test]
+    fn learns_constant_bank() {
+        let mut p = predictor();
+        for _ in 0..4 {
+            p.update(100, 7);
+        }
+        assert_eq!(p.predict(100), 7);
+    }
+
+    #[test]
+    fn learns_strided_pattern() {
+        let mut p = predictor();
+        // A load sweeping banks 0,1,2,3,0,1,2,3...
+        let mut wrong = 0;
+        let mut bank = 0u8;
+        for _ in 0..400 {
+            if p.predict(100) != bank {
+                wrong += 1;
+            }
+            p.update(100, bank);
+            bank = (bank + 1) % 4;
+        }
+        assert!(wrong < 40, "strided bank pattern not learned: {wrong}/400 wrong");
+    }
+
+    #[test]
+    fn masking_to_fewer_banks_remains_valid() {
+        let mut p = predictor();
+        for _ in 0..4 {
+            p.update(100, 0b1110);
+        }
+        // With 4 active clusters only the low 2 bits matter.
+        assert_eq!(p.predict(100) & 0b11, 0b10);
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere() {
+        let mut p = predictor();
+        for _ in 0..8 {
+            p.update(100, 3);
+            p.update(101, 5);
+        }
+        assert_eq!(p.predict(100), 3);
+        assert_eq!(p.predict(101), 5);
+    }
+}

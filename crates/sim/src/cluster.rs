@@ -1,0 +1,264 @@
+//! Per-cluster execution state: issue queues, register free lists, and
+//! functional units.
+
+use crate::config::{ClusterParams, ExecLatencies};
+use clustered_isa::OpClass;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Register-file / issue-queue domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Integer side (also loads, stores, and control).
+    Int,
+    /// Floating-point side.
+    Fp,
+}
+
+impl Domain {
+    /// Dense index for per-domain arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Domain::Int => 0,
+            Domain::Fp => 1,
+        }
+    }
+
+    /// The domain an instruction class dispatches into.
+    pub fn of(class: OpClass) -> Domain {
+        match class {
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv | OpClass::Load | OpClass::Store => {
+                Domain::Int
+            }
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => Domain::Fp,
+        }
+    }
+}
+
+/// Functional-unit group within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuGroup {
+    /// Integer ALU: ALU ops, address generation, branch resolution.
+    IntAlu,
+    /// Integer multiply/divide.
+    IntMulDiv,
+    /// FP adder: add/sub/compare/convert/min/max.
+    FpAlu,
+    /// FP multiply/divide.
+    FpMulDiv,
+}
+
+/// Number of FU groups.
+pub const FU_GROUPS: usize = 4;
+
+impl FuGroup {
+    /// Dense index for per-group arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FuGroup::IntAlu => 0,
+            FuGroup::IntMulDiv => 1,
+            FuGroup::FpAlu => 2,
+            FuGroup::FpMulDiv => 3,
+        }
+    }
+
+    /// The group an instruction class executes on.
+    pub fn of(class: OpClass) -> FuGroup {
+        match class {
+            OpClass::IntAlu | OpClass::Load | OpClass::Store => FuGroup::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuGroup::IntMulDiv,
+            OpClass::FpAlu => FuGroup::FpAlu,
+            OpClass::FpMul | OpClass::FpDiv => FuGroup::FpMulDiv,
+        }
+    }
+}
+
+/// Execution latency and pipelining of an instruction class.
+///
+/// Loads and stores report their address-generation latency; the
+/// memory system adds the rest.
+pub fn latency_of(lat: &ExecLatencies, class: OpClass) -> (u64, bool) {
+    match class {
+        OpClass::IntAlu | OpClass::Load | OpClass::Store => (lat.int_alu, true),
+        OpClass::IntMul => (lat.int_mul, true),
+        OpClass::IntDiv => (lat.int_div, false),
+        OpClass::FpAlu => (lat.fp_alu, true),
+        OpClass::FpMul => (lat.fp_mul, true),
+        OpClass::FpDiv => (lat.fp_div, false),
+    }
+}
+
+/// One cluster's scheduling state.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Issue-queue occupancy per domain.
+    pub iq_used: [usize; 2],
+    /// Issue-queue capacity per domain.
+    pub iq_cap: [usize; 2],
+    /// Free physical registers per domain.
+    pub free_regs: [usize; 2],
+    /// Busy-until cycle per functional unit, grouped.
+    fu_busy: [Vec<u64>; FU_GROUPS],
+    /// Dispatched-but-not-ready instructions: (ready_at, seq).
+    pending: [BinaryHeap<Reverse<(u64, u64)>>; FU_GROUPS],
+    /// Ready-to-issue instructions by age.
+    ready: [BTreeSet<u64>; FU_GROUPS],
+}
+
+impl Cluster {
+    /// Builds a cluster, with `reserved_int`/`reserved_fp` physical
+    /// registers pre-allocated to architectural state homed here.
+    pub fn new(params: &ClusterParams, reserved_int: usize, reserved_fp: usize) -> Cluster {
+        assert!(
+            reserved_int < params.int_regs && reserved_fp < params.fp_regs,
+            "architectural state exceeds the cluster register file"
+        );
+        Cluster {
+            iq_used: [0, 0],
+            iq_cap: [params.int_iq, params.fp_iq],
+            free_regs: [params.int_regs - reserved_int, params.fp_regs - reserved_fp],
+            fu_busy: [
+                vec![0; params.int_alu],
+                vec![0; params.int_muldiv],
+                vec![0; params.fp_alu],
+                vec![0; params.fp_muldiv],
+            ],
+            pending: Default::default(),
+            ready: Default::default(),
+        }
+    }
+
+    /// Queues a dispatched instruction for issue once `ready_at`.
+    pub fn enqueue(&mut self, group: FuGroup, ready_at: u64, seq: u64) {
+        self.pending[group.index()].push(Reverse((ready_at, seq)));
+    }
+
+    /// Moves instructions whose operands have arrived into the ready
+    /// set, then returns up to one issuable instruction per free unit
+    /// in each group, oldest first: `(seq, group, unit)`.
+    pub fn select(&mut self, now: u64, out: &mut Vec<(u64, FuGroup, usize)>) {
+        for gi in 0..FU_GROUPS {
+            while let Some(&Reverse((t, seq))) = self.pending[gi].peek() {
+                if t > now {
+                    break;
+                }
+                self.pending[gi].pop();
+                self.ready[gi].insert(seq);
+            }
+            if self.ready[gi].is_empty() {
+                continue;
+            }
+            let group = [FuGroup::IntAlu, FuGroup::IntMulDiv, FuGroup::FpAlu, FuGroup::FpMulDiv]
+                [gi];
+            for unit in 0..self.fu_busy[gi].len() {
+                if self.fu_busy[gi][unit] > now {
+                    continue;
+                }
+                match self.ready[gi].pop_first() {
+                    Some(seq) => out.push((seq, group, unit)),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Marks `unit` of `group` busy until `until` (issue accepted).
+    pub fn occupy(&mut self, group: FuGroup, unit: usize, until: u64) {
+        self.fu_busy[group.index()][unit] = until;
+    }
+
+    /// Whether any instruction is still queued here (for drain checks).
+    pub fn is_idle(&self) -> bool {
+        self.pending.iter().all(BinaryHeap::is_empty) && self.ready.iter().all(BTreeSet::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(&ClusterParams::default(), 2, 2)
+    }
+
+    #[test]
+    fn domains_and_groups() {
+        assert_eq!(Domain::of(OpClass::Load), Domain::Int);
+        assert_eq!(Domain::of(OpClass::FpMul), Domain::Fp);
+        assert_eq!(FuGroup::of(OpClass::Store), FuGroup::IntAlu);
+        assert_eq!(FuGroup::of(OpClass::IntDiv), FuGroup::IntMulDiv);
+        assert_eq!(FuGroup::of(OpClass::FpDiv), FuGroup::FpMulDiv);
+    }
+
+    #[test]
+    fn latencies_match_config() {
+        let lat = ExecLatencies::default();
+        assert_eq!(latency_of(&lat, OpClass::IntAlu), (1, true));
+        assert_eq!(latency_of(&lat, OpClass::IntDiv), (20, false));
+        assert_eq!(latency_of(&lat, OpClass::FpMul), (4, true));
+    }
+
+    #[test]
+    fn reserved_registers_reduce_free_list() {
+        let c = cluster();
+        assert_eq!(c.free_regs, [28, 28]);
+    }
+
+    #[test]
+    fn select_is_oldest_first_and_respects_readiness() {
+        let mut c = cluster();
+        c.enqueue(FuGroup::IntAlu, 5, 100);
+        c.enqueue(FuGroup::IntAlu, 5, 90);
+        c.enqueue(FuGroup::IntAlu, 9, 80);
+        let mut out = Vec::new();
+        c.select(5, &mut out);
+        assert_eq!(out, vec![(90, FuGroup::IntAlu, 0)], "oldest ready wins; 80 not ready yet");
+        out.clear();
+        c.select(9, &mut out);
+        assert_eq!(out, vec![(80, FuGroup::IntAlu, 0)], "80 beats 100 once ready");
+    }
+
+    #[test]
+    fn busy_unit_blocks_issue() {
+        let mut c = cluster();
+        c.enqueue(FuGroup::IntMulDiv, 0, 1);
+        let mut out = Vec::new();
+        c.select(0, &mut out);
+        assert_eq!(out.len(), 1);
+        c.occupy(FuGroup::IntMulDiv, 0, 20); // unpipelined divide
+        c.enqueue(FuGroup::IntMulDiv, 0, 2);
+        out.clear();
+        c.select(10, &mut out);
+        assert!(out.is_empty(), "divider busy until 20");
+        c.select(20, &mut out);
+        assert_eq!(out, vec![(2, FuGroup::IntMulDiv, 0)]);
+    }
+
+    #[test]
+    fn groups_issue_independently() {
+        let mut c = cluster();
+        c.enqueue(FuGroup::IntAlu, 0, 1);
+        c.enqueue(FuGroup::FpAlu, 0, 2);
+        c.enqueue(FuGroup::FpMulDiv, 0, 3);
+        let mut out = Vec::new();
+        c.select(0, &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut c = cluster();
+        assert!(c.is_idle());
+        c.enqueue(FuGroup::IntAlu, 10, 1);
+        assert!(!c.is_idle());
+        let mut out = Vec::new();
+        c.select(10, &mut out);
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "architectural state")]
+    fn rejects_excess_reserved() {
+        let _ = Cluster::new(&ClusterParams::default(), 30, 0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Simulator configuration.
+//!
+//! Defaults reproduce Tables 1 and 2 of the paper: a 16-cluster,
+//! wire-delay-dominated processor at projected 0.035µ latencies, with a
+//! ring interconnect and a centralized 4-bank word-interleaved L1.
+
+use std::error::Error;
+use std::fmt;
+
+/// Hard upper bound on the number of clusters (sizes several arrays).
+pub const MAX_CLUSTERS: usize = 16;
+
+/// Interconnect topology between clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Two unidirectional rings (the paper's default; 2N links).
+    Ring,
+    /// A two-dimensional grid (higher cost, better connectivity).
+    Grid,
+}
+
+/// Which L1 data-cache organisation is simulated (paper §2.1 vs §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheModel {
+    /// One word-interleaved L1 + LSQ co-located with cluster 0.
+    Centralized,
+    /// One L1 bank + LSQ slice per cluster, word-interleaved across the
+    /// active clusters; reconfiguration requires an L1 flush.
+    Decentralized,
+}
+
+/// Per-cluster execution resources (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterParams {
+    /// Number of clusters on the die.
+    pub count: usize,
+    /// Physical integer registers per cluster.
+    pub int_regs: usize,
+    /// Physical floating-point registers per cluster.
+    pub fp_regs: usize,
+    /// Integer issue-queue entries per cluster.
+    pub int_iq: usize,
+    /// Floating-point issue-queue entries per cluster.
+    pub fp_iq: usize,
+    /// Integer ALUs per cluster (also used for address generation and
+    /// branch resolution).
+    pub int_alu: usize,
+    /// Integer multiply/divide units per cluster.
+    pub int_muldiv: usize,
+    /// Floating-point ALUs per cluster.
+    pub fp_alu: usize,
+    /// Floating-point multiply/divide units per cluster.
+    pub fp_muldiv: usize,
+}
+
+impl Default for ClusterParams {
+    fn default() -> ClusterParams {
+        ClusterParams {
+            count: 16,
+            int_regs: 30,
+            fp_regs: 30,
+            int_iq: 15,
+            fp_iq: 15,
+            int_alu: 1,
+            int_muldiv: 1,
+            fp_alu: 1,
+            fp_muldiv: 1,
+        }
+    }
+}
+
+/// Front-end and window parameters (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendParams {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Fetch-queue capacity.
+    pub fetch_queue: usize,
+    /// Basic blocks fetch may span per cycle.
+    pub max_basic_blocks: usize,
+    /// Rename/dispatch width.
+    pub dispatch_width: usize,
+    /// Commit width.
+    pub commit_width: usize,
+    /// Re-order buffer capacity.
+    pub rob_size: usize,
+    /// Minimum branch-misprediction penalty in cycles (front-end
+    /// refill); hop latency from the resolving cluster is added on top.
+    pub mispredict_penalty: u64,
+}
+
+impl Default for FrontendParams {
+    fn default() -> FrontendParams {
+        FrontendParams {
+            fetch_width: 8,
+            fetch_queue: 64,
+            max_basic_blocks: 2,
+            dispatch_width: 16,
+            commit_width: 16,
+            rob_size: 480,
+            mispredict_penalty: 12,
+        }
+    }
+}
+
+/// Branch-predictor geometry (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpredParams {
+    /// Bimodal table entries.
+    pub bimodal_size: usize,
+    /// Level-1 (history) table entries of the two-level predictor.
+    pub l1_size: usize,
+    /// History bits per level-1 entry.
+    pub history_bits: usize,
+    /// Level-2 (pattern) table entries.
+    pub l2_size: usize,
+    /// Chooser (meta) table entries of the combined predictor.
+    pub meta_size: usize,
+    /// BTB sets.
+    pub btb_sets: usize,
+    /// BTB associativity.
+    pub btb_ways: usize,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+}
+
+impl Default for BpredParams {
+    fn default() -> BpredParams {
+        BpredParams {
+            bimodal_size: 2048,
+            l1_size: 1024,
+            history_bits: 10,
+            l2_size: 4096,
+            meta_size: 2048,
+            btb_sets: 2048,
+            btb_ways: 2,
+            ras_depth: 32,
+        }
+    }
+}
+
+/// Two-level bank predictor for the decentralized cache (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankPredParams {
+    /// Level-1 (history) entries.
+    pub l1_size: usize,
+    /// History bits.
+    pub history_bits: usize,
+    /// Level-2 (pattern) entries.
+    pub l2_size: usize,
+}
+
+impl Default for BankPredParams {
+    fn default() -> BankPredParams {
+        BankPredParams { l1_size: 1024, history_bits: 12, l2_size: 4096 }
+    }
+}
+
+/// Criticality-predictor parameters for steering (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CritParams {
+    /// Use the table-based last-arriving-operand predictor; when
+    /// false, steering falls back to the dispatch-time arrival
+    /// estimate.
+    pub enabled: bool,
+    /// Predictor table entries.
+    pub table_size: usize,
+}
+
+impl Default for CritParams {
+    fn default() -> CritParams {
+        CritParams { enabled: true, table_size: 2048 }
+    }
+}
+
+/// Interconnect parameters (paper §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterconnectParams {
+    /// Topology between the clusters.
+    pub topology: Topology,
+    /// Cycles per hop.
+    pub hop_latency: u64,
+}
+
+impl Default for InterconnectParams {
+    fn default() -> InterconnectParams {
+        InterconnectParams { topology: Topology::Ring, hop_latency: 1 }
+    }
+}
+
+/// Cache-hierarchy parameters (paper Table 2).
+///
+/// The L1 geometry is interpreted per [`CacheModel`]: centralized uses
+/// `l1_size`/`l1_banks` as one shared cache; decentralized uses
+/// `l1_bank_size` per cluster with as many banks as active clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Which organisation to simulate.
+    pub model: CacheModel,
+    /// Centralized: total L1 bytes.
+    pub l1_size: usize,
+    /// Centralized: number of word-interleaved banks.
+    pub l1_banks: usize,
+    /// Centralized: line size in bytes.
+    pub l1_line: usize,
+    /// Centralized: L1 RAM lookup cycles.
+    pub l1_latency: u64,
+    /// L1 associativity (both models).
+    pub l1_assoc: usize,
+    /// Decentralized: bytes per per-cluster bank.
+    pub l1_bank_size: usize,
+    /// Decentralized: line size in bytes.
+    pub l1_bank_line: usize,
+    /// Decentralized: per-bank RAM lookup cycles.
+    pub l1_bank_latency: u64,
+    /// L2 total bytes.
+    pub l2_size: usize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// L2 line bytes.
+    pub l2_line: usize,
+    /// L2 lookup cycles.
+    pub l2_latency: u64,
+    /// Main-memory latency for the first chunk, cycles.
+    pub mem_latency: u64,
+    /// LSQ entries per cluster (centralized pools `15 × count`).
+    pub lsq_per_cluster: usize,
+}
+
+impl Default for CacheParams {
+    fn default() -> CacheParams {
+        CacheParams {
+            model: CacheModel::Centralized,
+            l1_size: 32 * 1024,
+            l1_banks: 4,
+            l1_line: 32,
+            l1_latency: 6,
+            l1_assoc: 2,
+            l1_bank_size: 16 * 1024,
+            l1_bank_line: 8,
+            l1_bank_latency: 4,
+            l2_size: 2 * 1024 * 1024,
+            l2_assoc: 8,
+            l2_line: 64,
+            l2_latency: 25,
+            mem_latency: 160,
+            lsq_per_cluster: 15,
+        }
+    }
+}
+
+/// Functional-unit latencies in cycles (SimpleScalar defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecLatencies {
+    /// Integer ALU (pipelined).
+    pub int_alu: u64,
+    /// Integer multiply (pipelined).
+    pub int_mul: u64,
+    /// Integer divide (unpipelined).
+    pub int_div: u64,
+    /// FP add/compare/convert (pipelined).
+    pub fp_alu: u64,
+    /// FP multiply (pipelined).
+    pub fp_mul: u64,
+    /// FP divide/sqrt (unpipelined).
+    pub fp_div: u64,
+}
+
+impl Default for ExecLatencies {
+    fn default() -> ExecLatencies {
+        ExecLatencies { int_alu: 1, int_mul: 3, int_div: 20, fp_alu: 2, fp_mul: 4, fp_div: 12 }
+    }
+}
+
+/// Full simulator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use clustered_sim::{SimConfig, Topology};
+///
+/// let mut cfg = SimConfig::default();
+/// cfg.interconnect.topology = Topology::Grid;
+/// cfg.validate().unwrap();
+/// assert_eq!(cfg.clusters.count, 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimConfig {
+    /// Cluster resources.
+    pub clusters: ClusterParams,
+    /// Front-end and window sizes.
+    pub frontend: FrontendParams,
+    /// Branch predictor geometry.
+    pub bpred: BpredParams,
+    /// Bank predictor geometry (decentralized cache only).
+    pub bankpred: BankPredParams,
+    /// Criticality predictor for steering.
+    pub crit: CritParams,
+    /// Interconnect topology and hop latency.
+    pub interconnect: InterconnectParams,
+    /// Cache hierarchy.
+    pub cache: CacheParams,
+    /// Functional-unit latencies.
+    pub exec: ExecLatencies,
+}
+
+impl SimConfig {
+    /// The paper's monolithic baseline for Table 3: one "cluster"
+    /// holding all of a 16-cluster machine's resources, with free
+    /// bypassing and a co-located cache.
+    pub fn monolithic() -> SimConfig {
+        let mut cfg = SimConfig::default();
+        let n = cfg.clusters.count;
+        cfg.clusters = ClusterParams {
+            count: 1,
+            int_regs: 30 * n,
+            fp_regs: 30 * n,
+            int_iq: 15 * n,
+            fp_iq: 15 * n,
+            int_alu: n,
+            int_muldiv: n,
+            fp_alu: n,
+            fp_muldiv: n,
+        };
+        cfg.cache.lsq_per_cluster = 15 * n;
+        cfg
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the violated constraint:
+    /// cluster count must be in `1..=MAX_CLUSTERS` — and a power of two
+    /// when the decentralized cache (whose word interleaving masks
+    /// addresses) or the grid topology is used — and all widths/sizes
+    /// must be non-zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let c = &self.clusters;
+        if c.count == 0 || c.count > MAX_CLUSTERS {
+            return Err(ConfigError(format!(
+                "cluster count {} outside 1..={MAX_CLUSTERS}",
+                c.count
+            )));
+        }
+        let needs_power_of_two = self.cache.model == CacheModel::Decentralized
+            || self.interconnect.topology == Topology::Grid;
+        if needs_power_of_two && !c.count.is_power_of_two() {
+            return Err(ConfigError(format!(
+                "cluster count {} must be a power of two for the decentralized \
+                 cache's word interleaving and for the grid layout",
+                c.count
+            )));
+        }
+        if c.int_regs == 0 || c.fp_regs == 0 || c.int_iq == 0 || c.fp_iq == 0 {
+            return Err(ConfigError("per-cluster resources must be non-zero".into()));
+        }
+        if c.int_alu == 0 || c.fp_alu == 0 || c.int_muldiv == 0 || c.fp_muldiv == 0 {
+            return Err(ConfigError("per-cluster FU counts must be non-zero".into()));
+        }
+        let f = &self.frontend;
+        if f.fetch_width == 0 || f.dispatch_width == 0 || f.commit_width == 0 {
+            return Err(ConfigError("pipeline widths must be non-zero".into()));
+        }
+        if f.rob_size == 0 || f.fetch_queue == 0 {
+            return Err(ConfigError("window sizes must be non-zero".into()));
+        }
+        if !self.cache.l1_banks.is_power_of_two() {
+            return Err(ConfigError("centralized L1 bank count must be a power of two".into()));
+        }
+        if self.cache.lsq_per_cluster == 0 {
+            return Err(ConfigError("LSQ size must be non-zero".into()));
+        }
+        if self.crit.table_size == 0 {
+            return Err(ConfigError("criticality table must have entries".into()));
+        }
+        Ok(())
+    }
+
+    /// The legal "active cluster" settings a reconfiguration policy may
+    /// request under this configuration: the powers of two up to the
+    /// cluster count (the subset the paper found sufficient, §4.1).
+    pub fn allowed_cluster_counts(&self) -> Vec<usize> {
+        (0..)
+            .map(|i| 1usize << i)
+            .take_while(|&n| n <= self.clusters.count)
+            .collect()
+    }
+}
+
+/// An invalid-configuration error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_tables() {
+        let cfg = SimConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.clusters.count, 16);
+        assert_eq!(cfg.clusters.int_regs, 30);
+        assert_eq!(cfg.clusters.int_iq, 15);
+        assert_eq!(cfg.frontend.rob_size, 480);
+        assert_eq!(cfg.frontend.fetch_width, 8);
+        assert_eq!(cfg.frontend.dispatch_width, 16);
+        assert_eq!(cfg.cache.l1_size, 32 * 1024);
+        assert_eq!(cfg.cache.l1_latency, 6);
+        assert_eq!(cfg.cache.l1_bank_latency, 4);
+        assert_eq!(cfg.cache.l2_latency, 25);
+        assert_eq!(cfg.cache.mem_latency, 160);
+        assert_eq!(cfg.interconnect.hop_latency, 1);
+    }
+
+    #[test]
+    fn monolithic_pools_resources() {
+        let cfg = SimConfig::monolithic();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.clusters.count, 1);
+        assert_eq!(cfg.clusters.int_regs, 480);
+        assert_eq!(cfg.clusters.int_alu, 16);
+        assert_eq!(cfg.cache.lsq_per_cluster, 240);
+    }
+
+    #[test]
+    fn validation_rejects_bad_counts() {
+        let mut cfg = SimConfig::default();
+        cfg.clusters.count = 0;
+        assert!(cfg.validate().is_err());
+        cfg.clusters.count = 3;
+        assert!(cfg.validate().is_ok(), "ring + centralized permits any count");
+        cfg.cache.model = CacheModel::Decentralized;
+        assert!(cfg.validate().is_err(), "decentralized interleaving needs a power of two");
+        cfg.cache.model = CacheModel::Centralized;
+        cfg.interconnect.topology = Topology::Grid;
+        assert!(cfg.validate().is_err(), "grid layout needs a power of two");
+        cfg.interconnect.topology = Topology::Ring;
+        cfg.clusters.count = 32;
+        assert!(cfg.validate().is_err());
+        cfg.clusters.count = 8;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_resources() {
+        let mut cfg = SimConfig::default();
+        cfg.clusters.int_regs = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::default();
+        cfg.frontend.dispatch_width = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn allowed_counts_are_powers_of_two() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.allowed_cluster_counts(), vec![1, 2, 4, 8, 16]);
+        let mut small = cfg;
+        small.clusters.count = 4;
+        assert_eq!(small.allowed_cluster_counts(), vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criticality prediction for steering (paper §2.1, after Fields et
+//! al. and Tune et al.).
+//!
+//! The steering heuristic gives priority to the cluster producing the
+//! *critical* source operand. This predictor learns, per consumer PC,
+//! which of the two source operands tends to arrive last — the
+//! last-arriving operand is the critical one — with a table of
+//! saturating counters trained at issue time.
+
+/// Last-arriving-operand predictor.
+///
+/// # Examples
+///
+/// ```
+/// use clustered_sim::CriticalityPredictor;
+///
+/// let mut p = CriticalityPredictor::new(1024);
+/// for _ in 0..4 {
+///     p.update(42, 1); // operand 1 keeps arriving last
+/// }
+/// assert_eq!(p.predict(42), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CriticalityPredictor {
+    /// Saturating counters in `0..=3`; ≥2 votes "operand 1 critical".
+    table: Vec<u8>,
+}
+
+impl CriticalityPredictor {
+    /// Builds a predictor with `entries` table slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> CriticalityPredictor {
+        assert!(entries > 0, "table must have entries");
+        // Initialise weakly toward operand 0 (the first operand is the
+        // producer-steering default).
+        CriticalityPredictor { table: vec![1; entries] }
+    }
+
+    /// Predicts the critical source-operand slot (0 or 1) for the
+    /// instruction at `pc`.
+    pub fn predict(&self, pc: u32) -> usize {
+        usize::from(self.table[pc as usize % self.table.len()] >= 2)
+    }
+
+    /// Trains with the observed last-arriving slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `last_slot` is not 0 or 1.
+    pub fn update(&mut self, pc: u32, last_slot: usize) {
+        debug_assert!(last_slot < 2, "slot must be 0 or 1");
+        let idx = pc as usize % self.table.len();
+        let e = &mut self.table[idx];
+        if last_slot == 1 {
+            *e = (*e + 1).min(3);
+        } else {
+            *e = e.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_first_operand() {
+        let p = CriticalityPredictor::new(64);
+        assert_eq!(p.predict(0), 0);
+        assert_eq!(p.predict(63), 0);
+    }
+
+    #[test]
+    fn learns_and_unlearns() {
+        let mut p = CriticalityPredictor::new(64);
+        p.update(5, 1);
+        assert_eq!(p.predict(5), 1);
+        p.update(5, 0);
+        p.update(5, 0);
+        assert_eq!(p.predict(5), 0);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut p = CriticalityPredictor::new(64);
+        for _ in 0..10 {
+            p.update(7, 1);
+        }
+        // One contrary observation must not flip a saturated counter.
+        p.update(7, 0);
+        assert_eq!(p.predict(7), 1);
+    }
+
+    #[test]
+    fn pcs_alias_by_modulo() {
+        let mut p = CriticalityPredictor::new(4);
+        for _ in 0..3 {
+            p.update(1, 1);
+        }
+        assert_eq!(p.predict(5), 1, "pc 5 aliases with pc 1 in a 4-entry table");
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn rejects_empty_table() {
+        let _ = CriticalityPredictor::new(0);
+    }
+}

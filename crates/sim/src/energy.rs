@@ -1,0 +1,189 @@
+//! Post-hoc energy accounting.
+//!
+//! The paper's §1/§8 argue that disabling clusters lets their supply be
+//! gated, "greatly saving on leakage energy" (on average 8.3 of 16
+//! clusters were disabled). This module turns a run's [`SimStats`] into
+//! a leakage + dynamic energy estimate so that claim can be quantified.
+//! Units are normalised (one unit = one cluster-cycle of leakage); the
+//! per-event weights are configurable and deliberately coarse — the
+//! paper makes a first-order argument, not a circuit-level one.
+
+use crate::config::MAX_CLUSTERS;
+use crate::stats::SimStats;
+
+/// Energy weights, in units of one cluster-cycle of leakage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Total clusters on the die.
+    pub clusters: usize,
+    /// Whether disabled clusters are power-gated (supply off). If
+    /// false, disabled clusters still leak at `idle_leak_fraction`.
+    pub power_gated: bool,
+    /// Leakage of a disabled but not gated cluster, relative to an
+    /// active one.
+    pub idle_leak_fraction: f64,
+    /// Dynamic energy per dispatched instruction (rename + queue
+    /// insertion).
+    pub per_dispatch: f64,
+    /// Dynamic energy per committed instruction (regfile write +
+    /// retirement).
+    pub per_commit: f64,
+    /// Dynamic energy per L1 access.
+    pub per_l1_access: f64,
+    /// Dynamic energy per L2 access (an L1 miss).
+    pub per_l2_access: f64,
+    /// Dynamic energy per memory access (an L2 miss).
+    pub per_mem_access: f64,
+    /// Dynamic energy per interconnect hop travelled.
+    pub per_hop: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> EnergyParams {
+        EnergyParams {
+            clusters: MAX_CLUSTERS,
+            power_gated: true,
+            idle_leak_fraction: 0.3,
+            per_dispatch: 0.02,
+            per_commit: 0.03,
+            per_l1_access: 0.08,
+            per_l2_access: 0.4,
+            per_mem_access: 2.0,
+            per_hop: 0.05,
+        }
+    }
+}
+
+/// An energy estimate for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Leakage of active clusters (cluster-cycle units).
+    pub active_leakage: f64,
+    /// Leakage of disabled clusters (zero when power-gated).
+    pub idle_leakage: f64,
+    /// Dynamic (switching) energy.
+    pub dynamic: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.active_leakage + self.idle_leakage + self.dynamic
+    }
+
+    /// Energy per committed instruction, given the run's stats.
+    pub fn per_instruction(&self, stats: &SimStats) -> f64 {
+        if stats.committed == 0 {
+            0.0
+        } else {
+            self.total() / stats.committed as f64
+        }
+    }
+}
+
+/// Evaluates the energy of a run from its statistics.
+///
+/// # Examples
+///
+/// ```
+/// use clustered_sim::{EnergyParams, estimate_energy, SimStats};
+///
+/// let stats = SimStats {
+///     cycles: 1_000,
+///     committed: 2_000,
+///     dispatched: 2_100,
+///     active_cluster_cycles: 4_000, // four clusters on average
+///     ..SimStats::default()
+/// };
+/// let gated = estimate_energy(&stats, &EnergyParams::default());
+/// assert_eq!(gated.active_leakage, 4_000.0);
+/// assert_eq!(gated.idle_leakage, 0.0); // power-gated
+///
+/// let ungated = estimate_energy(
+///     &stats,
+///     &EnergyParams { power_gated: false, ..EnergyParams::default() },
+/// );
+/// assert!(ungated.idle_leakage > 0.0);
+/// ```
+pub fn estimate_energy(stats: &SimStats, params: &EnergyParams) -> EnergyBreakdown {
+    let active = stats.active_cluster_cycles as f64;
+    let total_cluster_cycles = (params.clusters as u64 * stats.cycles) as f64;
+    let idle_cycles = (total_cluster_cycles - active).max(0.0);
+    let idle_leakage =
+        if params.power_gated { 0.0 } else { idle_cycles * params.idle_leak_fraction };
+    let l1 = (stats.l1_hits + stats.l1_misses) as f64;
+    let hops = (stats.reg_transfer_hops + stats.cache_transfer_hops) as f64;
+    let dynamic = stats.dispatched as f64 * params.per_dispatch
+        + stats.committed as f64 * params.per_commit
+        + l1 * params.per_l1_access
+        + stats.l1_misses as f64 * params.per_l2_access
+        + stats.l2_misses as f64 * params.per_mem_access
+        + hops * params.per_hop;
+    EnergyBreakdown { active_leakage: active, idle_leakage, dynamic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        SimStats {
+            cycles: 1_000,
+            committed: 1_500,
+            dispatched: 1_600,
+            l1_hits: 400,
+            l1_misses: 100,
+            l2_misses: 10,
+            reg_transfers: 200,
+            reg_transfer_hops: 800,
+            cache_transfers: 0,
+            active_cluster_cycles: 8_000,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn power_gating_eliminates_idle_leakage() {
+        let gated = estimate_energy(&stats(), &EnergyParams::default());
+        assert_eq!(gated.idle_leakage, 0.0);
+        assert_eq!(gated.active_leakage, 8_000.0);
+    }
+
+    #[test]
+    fn ungated_idle_clusters_leak_proportionally() {
+        let p = EnergyParams { power_gated: false, ..EnergyParams::default() };
+        let e = estimate_energy(&stats(), &p);
+        // 16 clusters × 1000 cycles − 8000 active = 8000 idle cluster-cycles.
+        assert!((e.idle_leakage - 8_000.0 * p.idle_leak_fraction).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_active_clusters_save_leakage() {
+        let mut narrow = stats();
+        narrow.active_cluster_cycles = 4_000;
+        let wide = estimate_energy(&stats(), &EnergyParams::default());
+        let slim = estimate_energy(&narrow, &EnergyParams::default());
+        assert!(slim.total() < wide.total());
+        assert_eq!(slim.dynamic, wide.dynamic, "dynamic energy is event-driven");
+    }
+
+    #[test]
+    fn dynamic_energy_counts_all_sources() {
+        let p = EnergyParams::default();
+        let e = estimate_energy(&stats(), &p);
+        let expected = 1_600.0 * p.per_dispatch
+            + 1_500.0 * p.per_commit
+            + 500.0 * p.per_l1_access
+            + 100.0 * p.per_l2_access
+            + 10.0 * p.per_mem_access
+            + 800.0 * p.per_hop;
+        assert!((e.dynamic - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_instruction_handles_empty_run() {
+        let e = estimate_energy(&SimStats::default(), &EnergyParams::default());
+        assert_eq!(e.per_instruction(&SimStats::default()), 0.0);
+        assert_eq!(e.total(), 0.0);
+    }
+}

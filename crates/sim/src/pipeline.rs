@@ -1,0 +1,1130 @@
+//! The cycle-level clustered out-of-order processor.
+//!
+//! Trace-driven: the [`Processor`] consumes the dynamic instruction
+//! stream produced by `clustered-emu` and models fetch (with a real
+//! branch predictor and misprediction stalls), rename/steering,
+//! per-cluster issue, inter-cluster operand transfers on a contended
+//! interconnect, the LSQ/cache hierarchy of either cache model, and
+//! in-order commit — with the active-cluster count under the control
+//! of a [`ReconfigPolicy`].
+
+use crate::bankpred::BankPredictor;
+use crate::bpred::BranchPredictor;
+use crate::cache::MemHierarchy;
+use crate::cluster::{latency_of, Cluster, Domain, FuGroup};
+use crate::config::{CacheModel, ConfigError, SimConfig, MAX_CLUSTERS};
+use crate::crit::CriticalityPredictor;
+use crate::interconnect::Interconnect;
+use crate::lsq::LsqSlice;
+use crate::reconfig::{CommitEvent, ReconfigPolicy, DISTANT_DEPTH};
+use crate::stats::SimStats;
+use crate::steer::{Steering, SteerRequest, SteeringKind};
+use clustered_emu::{BranchKind, DynInst};
+use clustered_isa::{ArchReg, OpClass};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+const ABSENT: u64 = u64::MAX;
+
+/// Waiter slot marking a store's data operand.
+const STORE_VALUE_SLOT: u8 = 2;
+
+/// A simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// No instruction committed for a long time — an internal modelling
+    /// bug rather than a program property.
+    Stalled {
+        /// The cycle at which progress stopped.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => e.fmt(f),
+            SimError::Stalled { cycle } => {
+                write!(f, "pipeline made no progress near cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Result available: wake consumers, redirect fetch, etc.
+    WriteBack { seq: u64 },
+    /// A load's effective address left its AGU.
+    LoadAddr { seq: u64 },
+    /// A store's effective address left its AGU (its data may still be
+    /// outstanding).
+    StoreAddr { seq: u64 },
+    /// A load arrived at LSQ slice `slice`.
+    LoadAtLsq { seq: u64, slice: usize },
+    /// A store's address (and data) became visible at LSQ slice
+    /// `slice`. Carries everything needed because the store may have
+    /// committed before the broadcast lands.
+    StoreResolved {
+        seq: u64,
+        slice: usize,
+        word: u64,
+        own: bool,
+        forward_here: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Fetched {
+    d: DynInst,
+    fetched_at: u64,
+    mispredicted: bool,
+}
+
+#[derive(Debug)]
+struct RobEntry {
+    d: DynInst,
+    class: OpClass,
+    cluster: usize,
+    dest: Option<ArchReg>,
+    /// Physical register to free at commit: (cluster, domain index).
+    frees: Option<(usize, usize)>,
+    srcs_outstanding: u8,
+    /// When each gating source operand arrived (criticality training).
+    src_arrival: [u64; 2],
+    /// Which gating source slots this instruction has.
+    src_present: [bool; 2],
+    ready_at: u64,
+    done: bool,
+    done_at: u64,
+    distant: bool,
+    mispredicted: bool,
+    /// Cycles-per-cluster availability of this entry's result.
+    copies: [u64; MAX_CLUSTERS],
+    /// Consumers waiting on this result: (seq, cluster, source slot —
+    /// 0/1 for issue-gating operands, [`STORE_VALUE_SLOT`] for a
+    /// store's data).
+    waiters: Vec<(u64, usize, u8)>,
+    /// Stores: cycle the AGU produced the address (`ABSENT` until then).
+    agu_done: u64,
+    /// Stores: cycle the data value is available in the store's cluster
+    /// (`ABSENT` until known).
+    store_value_at: u64,
+    /// Memory: resolved bank and its cluster.
+    bank: usize,
+    bank_cluster: usize,
+    /// LSQ slice the entry's slot was allocated in.
+    alloc_slice: usize,
+    /// Active cluster count when dispatched.
+    active_at_dispatch: usize,
+}
+
+/// The simulated processor.
+///
+/// Generic over the dynamic-instruction source; see the crate-level
+/// documentation for a complete example.
+pub struct Processor<T> {
+    cfg: SimConfig,
+    trace: T,
+    policy: Box<dyn ReconfigPolicy>,
+    net: Interconnect,
+    mem: MemHierarchy,
+    bpred: BranchPredictor,
+    bankpred: BankPredictor,
+    crit: CriticalityPredictor,
+    steering: Steering,
+    clusters: Vec<Cluster>,
+    lsq: Vec<LsqSlice>,
+    rob: VecDeque<RobEntry>,
+    rename: [Option<u64>; 64],
+    arch_home: [usize; 64],
+    arch_avail: [[u64; MAX_CLUSTERS]; 64],
+    fetch_queue: VecDeque<Fetched>,
+    fetch_stall_until: u64,
+    awaiting_redirect: bool,
+    dispatch_stall_until: u64,
+    trace_done: bool,
+    /// Reused issue-selection scratch buffer.
+    selected: Vec<(u64, FuGroup, usize)>,
+    events: BinaryHeap<Reverse<(u64, u64, EventKind)>>,
+    /// Loads whose forwarding store has not produced its data yet:
+    /// store seq → [(load seq, slice)].
+    loads_waiting_data: HashMap<u64, Vec<(u64, usize)>>,
+    event_tick: u64,
+    now: u64,
+    active: usize,
+    pending_reconfig: Option<usize>,
+    reconfig_request: Option<usize>,
+    stats: SimStats,
+}
+
+/// Occupancy of the machine's structures at one instant (see
+/// [`Processor::occupancy_snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// Re-order-buffer entries in flight.
+    pub rob: usize,
+    /// Fetch-queue entries waiting to dispatch.
+    pub fetch_queue: usize,
+    /// Free physical registers per cluster, `[int, fp]`.
+    pub free_regs: Vec<[usize; 2]>,
+    /// Issue-queue entries in use per cluster, `[int, fp]`.
+    pub iq_used: Vec<[usize; 2]>,
+    /// Load/store-queue slots in use per slice.
+    pub lsq_used: Vec<usize>,
+}
+
+/// Rounds a requested cluster count to the nearest legal value: in
+/// `1..=total`, and — when `pow2` (the decentralized model, whose bank
+/// interleaving masks addresses) — a power of two, rounding down.
+fn legal_cluster_count(request: usize, total: usize, pow2: bool) -> usize {
+    let clamped = request.clamp(1, total);
+    if !pow2 || clamped.is_power_of_two() {
+        clamped
+    } else {
+        clamped.next_power_of_two() / 2
+    }
+}
+
+impl<T: Iterator<Item = DynInst>> Processor<T> {
+    /// Builds a processor over `trace` governed by `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if `cfg` fails validation.
+    pub fn new(
+        cfg: SimConfig,
+        trace: T,
+        policy: Box<dyn ReconfigPolicy>,
+    ) -> Result<Processor<T>, SimError> {
+        Self::with_steering(cfg, trace, policy, SteeringKind::default())
+    }
+
+    /// Builds a processor with an explicit steering heuristic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if `cfg` fails validation.
+    pub fn with_steering(
+        cfg: SimConfig,
+        trace: T,
+        policy: Box<dyn ReconfigPolicy>,
+        steering: SteeringKind,
+    ) -> Result<Processor<T>, SimError> {
+        cfg.validate()?;
+        let count = cfg.clusters.count;
+        // Architectural registers are homed round-robin across the
+        // physical clusters and occupy a register there.
+        let mut reserved = [[0usize; 2]; MAX_CLUSTERS];
+        let mut arch_home = [0usize; 64];
+        for r in 0..64 {
+            let home = r % count;
+            arch_home[r] = home;
+            reserved[home][usize::from(r >= 32)] += 1;
+        }
+        let clusters: Vec<Cluster> = (0..count)
+            .map(|c| Cluster::new(&cfg.clusters, reserved[c][0], reserved[c][1]))
+            .collect();
+        let lsq = match cfg.cache.model {
+            CacheModel::Centralized => vec![LsqSlice::new(cfg.cache.lsq_per_cluster * count)],
+            CacheModel::Decentralized => {
+                (0..count).map(|_| LsqSlice::new(cfg.cache.lsq_per_cluster)).collect()
+            }
+        };
+        let initial = legal_cluster_count(
+            policy.initial_clusters(),
+            count,
+            cfg.cache.model == CacheModel::Decentralized,
+        );
+        Ok(Processor {
+            net: Interconnect::new(&cfg.interconnect, count),
+            mem: MemHierarchy::new(&cfg.cache, count),
+            bpred: BranchPredictor::new(&cfg.bpred),
+            bankpred: BankPredictor::new(&cfg.bankpred),
+            crit: CriticalityPredictor::new(cfg.crit.table_size),
+            steering: Steering::new(steering),
+            clusters,
+            lsq,
+            rob: VecDeque::with_capacity(cfg.frontend.rob_size),
+            rename: [None; 64],
+            arch_home,
+            arch_avail: [[0; MAX_CLUSTERS]; 64],
+            fetch_queue: VecDeque::with_capacity(cfg.frontend.fetch_queue),
+            fetch_stall_until: 0,
+            awaiting_redirect: false,
+            dispatch_stall_until: 0,
+            trace_done: false,
+            selected: Vec::new(),
+            events: BinaryHeap::new(),
+            loads_waiting_data: HashMap::new(),
+            event_tick: 0,
+            now: 0,
+            active: initial,
+            pending_reconfig: None,
+            reconfig_request: None,
+            stats: SimStats::default(),
+            cfg,
+            trace,
+            policy,
+        })
+    }
+
+    /// Accumulated statistics (monotonic; snapshot and use
+    /// [`SimStats::delta_since`] to measure an interval).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// The currently active cluster count.
+    pub fn active_clusters(&self) -> usize {
+        self.active
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// A snapshot of structure occupancies, for debugging and
+    /// introspection.
+    pub fn occupancy_snapshot(&self) -> OccupancySnapshot {
+        OccupancySnapshot {
+            rob: self.rob.len(),
+            fetch_queue: self.fetch_queue.len(),
+            free_regs: self.clusters.iter().map(|c| c.free_regs).collect(),
+            iq_used: self.clusters.iter().map(|c| c.iq_used).collect(),
+            lsq_used: self.lsq.iter().map(LsqSlice::occupancy).collect(),
+        }
+    }
+
+    /// Whether the instruction source is exhausted and the pipeline
+    /// has drained.
+    pub fn finished(&self) -> bool {
+        self.trace_done && self.fetch_queue.is_empty() && self.rob.is_empty()
+    }
+
+    /// Runs until `instructions` more have committed, the trace ends,
+    /// or an error occurs. Returns the statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Stalled`] if the pipeline stops making progress (an
+    /// internal invariant violation, not a program property).
+    pub fn run(&mut self, instructions: u64) -> Result<SimStats, SimError> {
+        let target = self.stats.committed + instructions;
+        let mut last_progress = (self.stats.committed, self.now);
+        while self.stats.committed < target && !self.finished() {
+            self.step_cycle();
+            if self.stats.committed != last_progress.0 {
+                last_progress = (self.stats.committed, self.now);
+            } else if self.now - last_progress.1 > 1_000_000 {
+                return Err(SimError::Stalled { cycle: self.now });
+            }
+        }
+        Ok(self.stats)
+    }
+
+    /// Advances the machine one cycle.
+    fn step_cycle(&mut self) {
+        self.now += 1;
+        self.drain_events();
+        self.commit();
+        self.apply_reconfig();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.stats.cycles += 1;
+        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        self.stats.active_cluster_cycles += self.active as u64;
+        self.stats.cycles_at_config[self.active - 1] += 1;
+    }
+
+    // ------------------------------------------------------ events
+
+    fn schedule(&mut self, time: u64, kind: EventKind) {
+        self.event_tick += 1;
+        self.events.push(Reverse((time, self.event_tick, kind)));
+    }
+
+    fn drain_events(&mut self) {
+        while let Some(&Reverse((t, _, kind))) = self.events.peek() {
+            if t > self.now {
+                break;
+            }
+            self.events.pop();
+            match kind {
+                EventKind::WriteBack { seq } => self.writeback(seq),
+                EventKind::LoadAddr { seq } => self.load_addr(seq),
+                EventKind::StoreAddr { seq } => self.store_addr(seq),
+                EventKind::LoadAtLsq { seq, slice } => self.load_at_lsq(seq, slice),
+                EventKind::StoreResolved { seq, slice, word, own, forward_here } => {
+                    self.store_resolved(seq, slice, word, own, forward_here)
+                }
+            }
+        }
+    }
+
+    /// A cache-related transfer between clusters: free when local,
+    /// otherwise routed on the interconnect and counted.
+    fn routed_cache_transfer(&mut self, from: usize, to: usize, earliest: u64) -> u64 {
+        if from == to {
+            earliest
+        } else {
+            self.stats.cache_transfers += 1;
+            self.stats.cache_transfer_hops += self.net.distance(from, to);
+            self.net.transfer(from, to, earliest)
+        }
+    }
+
+    /// The LSQ slice holding forwarding state for a resolved bank:
+    /// the central slice for the centralized model, the bank's own
+    /// slice otherwise.
+    fn forward_slice(&self, bank: usize) -> usize {
+        match self.cfg.cache.model {
+            CacheModel::Centralized => 0,
+            CacheModel::Decentralized => bank,
+        }
+    }
+
+    fn rob_index(&self, seq: u64) -> usize {
+        let head = self.rob.front().expect("ROB empty while indexing").d.seq;
+        (seq - head) as usize
+    }
+
+    fn writeback(&mut self, seq: u64) {
+        let idx = self.rob_index(seq);
+        let cluster = self.rob[idx].cluster;
+        self.rob[idx].done = true;
+        self.rob[idx].done_at = self.now;
+        self.rob[idx].copies[cluster] = self.now;
+
+        // Wake consumers, transferring the value to their clusters.
+        let waiters = std::mem::take(&mut self.rob[idx].waiters);
+        for (wseq, wcluster, slot) in waiters {
+            let arrival = self.value_arrival(idx, wcluster);
+            self.source_arrived(wseq, arrival, slot);
+        }
+
+        // A mispredicted control transfer restarts fetch once the
+        // redirect reaches the front end (co-located with cluster 0).
+        if self.rob[idx].mispredicted && self.rob[idx].d.branch.is_some() {
+            let resume = self.now
+                + self.net.latency(cluster, 0)
+                + self.cfg.frontend.mispredict_penalty;
+            self.fetch_stall_until = self.fetch_stall_until.max(resume);
+            self.awaiting_redirect = false;
+        }
+
+        // A store's writeback means address *and* data are known:
+        // finalise its forwarding record at the bank slice and release
+        // any loads waiting on its data.
+        if self.rob[idx].class == OpClass::Store {
+            let mem_access = self.rob[idx].d.mem.expect("store without address");
+            let fslice = self.forward_slice(self.rob[idx].bank);
+            let avail = self.now + self.net.latency(cluster, fslice);
+            self.lsq[fslice].update_store_data(mem_access.addr >> 3, seq, avail);
+            if let Some(waiting) = self.loads_waiting_data.remove(&seq) {
+                for (load_seq, slice) in waiting {
+                    self.proceed_load(load_seq, slice);
+                }
+            }
+        }
+    }
+
+    /// When `entry`'s result reaches cluster `to`, scheduling a
+    /// transfer if it is not already there or en route.
+    fn value_arrival(&mut self, idx: usize, to: usize) -> u64 {
+        let from = self.rob[idx].cluster;
+        let done = self.rob[idx].done_at;
+        if self.rob[idx].copies[to] != ABSENT {
+            return self.rob[idx].copies[to];
+        }
+        let arrival = if to == from {
+            done
+        } else {
+            let a = self.net.transfer(from, to, done.max(self.now));
+            self.stats.reg_transfers += 1;
+            self.stats.reg_transfer_hops += self.net.distance(from, to);
+            a
+        };
+        self.rob[idx].copies[to] = arrival;
+        arrival
+    }
+
+    fn source_arrived(&mut self, seq: u64, arrival: u64, slot: u8) {
+        let idx = self.rob_index(seq);
+        if slot == STORE_VALUE_SLOT {
+            // A store's data operand: it does not gate address
+            // generation, only the store's completion.
+            self.rob[idx].store_value_at = arrival;
+            if self.rob[idx].agu_done != ABSENT {
+                let t = self.rob[idx].agu_done.max(arrival).max(self.now);
+                self.schedule(t, EventKind::WriteBack { seq });
+            }
+            return;
+        }
+        let e = &mut self.rob[idx];
+        e.src_arrival[slot as usize] = arrival;
+        e.ready_at = e.ready_at.max(arrival);
+        e.srcs_outstanding -= 1;
+        if e.srcs_outstanding == 0 {
+            let (cluster, group, ready_at) = (e.cluster, FuGroup::of(e.class), e.ready_at);
+            self.clusters[cluster].enqueue(group, ready_at, seq);
+        }
+    }
+
+    fn broadcast_store(&mut self, idx: usize) {
+        let seq = self.rob[idx].d.seq;
+        let cluster = self.rob[idx].cluster;
+        let addr = self.rob[idx].d.mem.expect("store without address").addr;
+        let word = addr >> 3;
+        match self.cfg.cache.model {
+            CacheModel::Centralized => {
+                self.rob[idx].bank = self.mem.bank_of(addr, self.cfg.cache.l1_banks);
+                self.rob[idx].bank_cluster = 0;
+                let at = self.routed_cache_transfer(cluster, 0, self.now);
+                self.schedule(
+                    at.max(self.now),
+                    EventKind::StoreResolved { seq, slice: 0, word, own: true, forward_here: true },
+                );
+            }
+            CacheModel::Decentralized => {
+                let active = self.rob[idx].active_at_dispatch;
+                let bank = self.mem.bank_of(addr, active);
+                self.rob[idx].bank = bank;
+                self.rob[idx].bank_cluster = bank;
+                for k in 0..active {
+                    let at = self.routed_cache_transfer(cluster, k, self.now);
+                    self.schedule(
+                        at.max(self.now),
+                        EventKind::StoreResolved {
+                            seq,
+                            slice: k,
+                            word,
+                            own: k == cluster,
+                            forward_here: k == bank,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn store_addr(&mut self, seq: u64) {
+        let idx = self.rob_index(seq);
+        self.rob[idx].agu_done = self.now;
+        // Address known: broadcast for disambiguation/dummy release.
+        self.broadcast_store(idx);
+        let value_at = self.rob[idx].store_value_at;
+        if value_at != ABSENT {
+            self.schedule(value_at.max(self.now), EventKind::WriteBack { seq });
+        }
+    }
+
+    fn load_addr(&mut self, seq: u64) {
+        let idx = self.rob_index(seq);
+        let cluster = self.rob[idx].cluster;
+        let addr = self.rob[idx].d.mem.expect("load without address").addr;
+        match self.cfg.cache.model {
+            CacheModel::Centralized => {
+                self.rob[idx].bank = self.mem.bank_of(addr, self.cfg.cache.l1_banks);
+                self.rob[idx].bank_cluster = 0;
+                let at = self.routed_cache_transfer(cluster, 0, self.now);
+                self.schedule(at.max(self.now), EventKind::LoadAtLsq { seq, slice: 0 });
+            }
+            CacheModel::Decentralized => {
+                let active = self.rob[idx].active_at_dispatch;
+                let bank = self.mem.bank_of(addr, active);
+                self.rob[idx].bank = bank;
+                self.rob[idx].bank_cluster = bank;
+                let at = self.routed_cache_transfer(cluster, bank, self.now);
+                self.schedule(at.max(self.now), EventKind::LoadAtLsq { seq, slice: bank });
+            }
+        }
+    }
+
+    fn load_at_lsq(&mut self, seq: u64, slice: usize) {
+        if self.lsq[slice].blocked(seq) {
+            self.lsq[slice].park(seq);
+        } else {
+            self.proceed_load(seq, slice);
+        }
+    }
+
+    fn proceed_load(&mut self, seq: u64, slice: usize) {
+        let idx = self.rob_index(seq);
+        let mem_access = self.rob[idx].d.mem.expect("load without address");
+        let (bank, bank_cluster, cluster) =
+            (self.rob[idx].bank, self.rob[idx].bank_cluster, self.rob[idx].cluster);
+        let word = mem_access.addr >> 3;
+        let data_at_bank = match self.lsq[slice].forward_source(word, seq) {
+            Some((store_seq, avail)) => {
+                if avail == ABSENT {
+                    // The matching store's data is still being computed;
+                    // retry when it writes back.
+                    self.loads_waiting_data.entry(store_seq).or_default().push((seq, slice));
+                    return;
+                }
+                self.stats.lsq_forwards += 1;
+                avail.max(self.now) + 1
+            }
+            None => self.mem.access(
+                &mut self.net,
+                bank,
+                bank_cluster,
+                mem_access.addr,
+                false,
+                self.now,
+                &mut self.stats,
+            ),
+        };
+        // Data returns to the consuming cluster: from cluster 0 for the
+        // centralized cache, from the bank's cluster otherwise.
+        let home = self.forward_slice(bank_cluster);
+        let back = self.routed_cache_transfer(home, cluster, data_at_bank);
+        self.schedule(back.max(self.now + 1), EventKind::WriteBack { seq });
+    }
+
+    fn store_resolved(&mut self, seq: u64, slice: usize, word: u64, own: bool, forward_here: bool) {
+        if forward_here {
+            // Only record forwarding state for stores still in flight;
+            // committed stores have already written the cache. If the
+            // store's data is still outstanding, record a placeholder
+            // that its writeback fills in.
+            let in_flight = self.rob.front().is_some_and(|h| seq >= h.d.seq);
+            if in_flight {
+                let idx = self.rob_index(seq);
+                let avail = if self.rob[idx].done {
+                    // The data may have been produced after the address
+                    // broadcast departed; it still needs its own trip.
+                    let extra = self.net.latency(self.rob[idx].cluster, slice);
+                    self.now.max(self.rob[idx].done_at + extra)
+                } else {
+                    ABSENT
+                };
+                self.lsq[slice].record_store_data(word, seq, avail);
+            }
+        }
+        if !own {
+            // Dummy slot released on broadcast arrival.
+            self.lsq[slice].release();
+        }
+        let freed = self.lsq[slice].resolve_store(seq);
+        for load in freed {
+            self.proceed_load(load, slice);
+        }
+    }
+
+    // ------------------------------------------------------ commit
+
+    fn commit(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.frontend.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.done || head.done_at > self.now {
+                break;
+            }
+            let e = self.rob.pop_front().expect("just peeked");
+            n += 1;
+            self.retire(e);
+        }
+        self.take_policy_request();
+    }
+
+    fn retire(&mut self, e: RobEntry) {
+        // Stores write their bank at commit (tags, port, stats); the
+        // data is buffered so commit itself does not wait.
+        match e.class {
+            OpClass::Store => {
+                let mem_access = e.d.mem.expect("store without address");
+                self.mem.access(
+                    &mut self.net,
+                    e.bank,
+                    e.bank_cluster,
+                    mem_access.addr,
+                    true,
+                    self.now,
+                    &mut self.stats,
+                );
+                self.lsq[e.alloc_slice].release();
+                let forward_slice = self.forward_slice(e.bank);
+                self.lsq[forward_slice].remove_store_data(mem_access.addr >> 3, e.d.seq);
+                self.stats.stores += 1;
+                self.stats.memrefs += 1;
+            }
+            OpClass::Load => {
+                self.lsq[e.alloc_slice].release();
+                self.stats.loads += 1;
+                self.stats.memrefs += 1;
+            }
+            _ => {}
+        }
+        if let Some((cluster, domain)) = e.frees {
+            self.clusters[cluster].free_regs[domain] += 1;
+        }
+        if let Some(dest) = e.dest {
+            let r = dest.unified_index();
+            if self.rename[r] == Some(e.d.seq) {
+                self.rename[r] = None;
+                self.arch_home[r] = e.cluster;
+                self.arch_avail[r] = e.copies;
+            }
+        }
+        self.stats.committed += 1;
+        if e.distant {
+            self.stats.distant_issues += 1;
+        }
+        let mut is_cond = false;
+        let mut is_call = false;
+        let mut is_return = false;
+        if let Some(b) = e.d.branch {
+            self.stats.branches += 1;
+            is_cond = b.kind == BranchKind::Conditional;
+            is_call = matches!(b.kind, BranchKind::Call | BranchKind::IndirectCall);
+            is_return = b.kind == BranchKind::Return;
+            if is_cond {
+                self.stats.cond_branches += 1;
+            }
+            if e.mispredicted {
+                self.stats.mispredicts += 1;
+            }
+        }
+        let event = CommitEvent {
+            seq: e.d.seq,
+            pc: e.d.pc,
+            cycle: self.now,
+            is_branch: e.d.branch.is_some(),
+            is_cond_branch: is_cond,
+            is_call,
+            is_return,
+            is_memref: e.d.mem.is_some(),
+            distant: e.distant,
+            mispredicted: e.mispredicted,
+        };
+        if let Some(request) = self.policy.on_commit(&event) {
+            self.reconfig_request = Some(request);
+        }
+    }
+
+    fn take_policy_request(&mut self) {
+        let Some(request) = self.reconfig_request.take() else { return };
+        let request = legal_cluster_count(
+            request,
+            self.cfg.clusters.count,
+            self.cfg.cache.model == CacheModel::Decentralized,
+        );
+        match self.cfg.cache.model {
+            CacheModel::Centralized => {
+                if request != self.active {
+                    self.active = request;
+                    self.stats.reconfigurations += 1;
+                }
+            }
+            CacheModel::Decentralized => {
+                // A request back to the current configuration cancels a
+                // not-yet-applied switch instead of scheduling a
+                // drain + flush to the configuration already in use.
+                self.pending_reconfig = (request != self.active).then_some(request);
+            }
+        }
+    }
+
+    fn apply_reconfig(&mut self) {
+        let Some(target) = self.pending_reconfig else { return };
+        // The bank interleaving changes, so the pipeline drains and the
+        // L1 is flushed to L2 while the processor stalls (paper §5).
+        if !self.rob.is_empty() {
+            return;
+        }
+        let (writebacks, stall) = self.mem.flush_l1();
+        self.stats.flush_writebacks += writebacks;
+        self.stats.flush_stall_cycles += stall;
+        self.dispatch_stall_until = self.now + stall;
+        self.active = target;
+        self.stats.reconfigurations += 1;
+        self.pending_reconfig = None;
+    }
+
+    // ------------------------------------------------------ issue
+
+    fn issue(&mut self) {
+        let head_seq = self.rob.front().map(|e| e.d.seq);
+        let mut selected = std::mem::take(&mut self.selected);
+        for c in 0..self.clusters.len() {
+            selected.clear();
+            self.clusters[c].select(self.now, &mut selected);
+            for &(seq, group, unit) in &selected {
+                let idx = self.rob_index(seq);
+                let class = self.rob[idx].class;
+                let (lat, pipelined) = latency_of(&self.cfg.exec, class);
+                let busy_until = if pipelined { self.now + 1 } else { self.now + lat };
+                self.clusters[c].occupy(group, unit, busy_until);
+                self.clusters[c].iq_used[Domain::of(class).index()] -= 1;
+                self.rob[idx].distant =
+                    head_seq.is_some_and(|h| seq - h >= DISTANT_DEPTH);
+                // Train the criticality predictor with the operand that
+                // arrived last.
+                if self.rob[idx].src_present == [true, true] {
+                    let [a0, a1] = self.rob[idx].src_arrival;
+                    self.crit.update(self.rob[idx].d.pc, usize::from(a1 >= a0));
+                }
+                match class {
+                    OpClass::Load => {
+                        self.schedule(self.now + self.cfg.exec.int_alu, EventKind::LoadAddr { seq })
+                    }
+                    OpClass::Store => self
+                        .schedule(self.now + self.cfg.exec.int_alu, EventKind::StoreAddr { seq }),
+                    _ => self.schedule(self.now + lat, EventKind::WriteBack { seq }),
+                }
+            }
+        }
+        self.selected = selected;
+    }
+
+    // ------------------------------------------------------ dispatch
+
+    fn dispatch(&mut self) {
+        if self.pending_reconfig.is_some() || self.now < self.dispatch_stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.frontend.dispatch_width {
+            if self.rob.len() >= self.cfg.frontend.rob_size {
+                self.stats.dispatch_stall_rob += 1;
+                break;
+            }
+            let Some(front) = self.fetch_queue.front() else {
+                self.stats.dispatch_stall_fetch += 1;
+                break;
+            };
+            if front.fetched_at >= self.now {
+                self.stats.dispatch_stall_fetch += 1;
+                break;
+            }
+            if !self.try_dispatch_one() {
+                self.stats.dispatch_stall_resources += 1;
+                break;
+            }
+        }
+    }
+
+    /// Attempts to dispatch the head of the fetch queue; returns false
+    /// on a structural stall.
+    fn try_dispatch_one(&mut self) -> bool {
+        let front = self.fetch_queue.front().expect("checked by caller");
+        let d = front.d;
+        let mispredicted = front.mispredicted;
+        let class = d.inst.op_class();
+        let sources = d.inst.sources();
+        let dest = d.inst.dest();
+        let domain = Domain::of(class);
+
+        // Producer clusters and criticality estimates for steering.
+        let mut producer: [Option<usize>; 2] = [None; 2];
+        let mut estimate: [u64; 2] = [0; 2];
+        for (i, src) in sources.iter().enumerate() {
+            let Some(r) = src else { continue };
+            let r = r.unified_index();
+            match self.rename[r] {
+                Some(pseq) => {
+                    let p = &self.rob[self.rob_index(pseq)];
+                    producer[i] = Some(p.cluster);
+                    estimate[i] = if p.done { p.done_at } else { ABSENT };
+                }
+                None => {
+                    producer[i] = Some(self.arch_home[r]);
+                    estimate[i] = self.arch_avail[r][self.arch_home[r]];
+                }
+            }
+        }
+        // Pick the predicted-critical operand: a trained table when
+        // enabled (the paper's configuration), otherwise the
+        // dispatch-time arrival estimate.
+        let critical_slot = if producer[0].is_none() || producer[1].is_none() {
+            usize::from(producer[0].is_none())
+        } else if self.cfg.crit.enabled {
+            self.crit.predict(d.pc)
+        } else {
+            usize::from(estimate[1] > estimate[0])
+        };
+        let (critical, other) = (producer[critical_slot], producer[1 - critical_slot]);
+
+        // Decentralized loads/stores prefer the predicted bank's
+        // cluster; the predictor's full-width output is masked to the
+        // active count (paper §5).
+        let is_memref = matches!(class, OpClass::Load | OpClass::Store);
+        let decentralized = self.cfg.cache.model == CacheModel::Decentralized;
+        // Prediction (lookup only) happens here because steering needs
+        // the bank; training and statistics happen only once dispatch
+        // actually consumes the instruction, so a structurally stalled
+        // memref retried every cycle is not re-trained or double-counted.
+        let predicted_bank = if decentralized && is_memref {
+            let full_mask = self.cfg.clusters.count - 1;
+            (self.bankpred.predict(d.pc) as usize & full_mask) & (self.active - 1)
+        } else {
+            0
+        };
+        let bank_cluster = (decentralized && is_memref).then_some(predicted_bank);
+
+        // LSQ capacity: loads need their own slice, stores need every
+        // active slice (dummy slots); the centralized pool needs one
+        // slot either way.
+        match (self.cfg.cache.model, class) {
+            (CacheModel::Centralized, OpClass::Load | OpClass::Store)
+                if !self.lsq[0].has_space() => {
+                    return false;
+                }
+            (CacheModel::Decentralized, OpClass::Store)
+                if !(0..self.active).all(|k| self.lsq[k].has_space()) => {
+                    return false;
+                }
+            _ => {}
+        }
+
+        let dest_domain = dest.map(|r| usize::from(!r.is_int()));
+        // A decentralized load also needs a slot in the steered
+        // cluster's LSQ slice: fold that into the steering mask so a
+        // stateful heuristic (Mod_N cursor) never picks a cluster the
+        // dispatch then has to reject. (Loads to the zero register have
+        // no destination but still occupy a slice slot, hence the
+        // `needs_reg` widening.)
+        let load_needs_slice = decentralized && class == OpClass::Load;
+        let needs_reg = dest.is_some() || load_needs_slice;
+        let mut occupancy = [0usize; MAX_CLUSTERS];
+        let mut has_free_reg = [false; MAX_CLUSTERS];
+        for c in 0..self.active {
+            occupancy[c] = self.clusters[c].iq_used[domain.index()];
+            has_free_reg[c] = match dest_domain {
+                Some(k) => self.clusters[c].free_regs[k] > 0,
+                None => true,
+            } && (!load_needs_slice || self.lsq[c].has_space());
+        }
+        let request = SteerRequest {
+            active: self.active,
+            occupancy: &occupancy[..self.clusters.len()],
+            capacity: self.clusters[0].iq_cap[domain.index()],
+            has_free_reg: &has_free_reg[..self.clusters.len()],
+            needs_reg,
+            critical_producer: critical,
+            other_producer: other,
+            bank_cluster,
+        };
+        let Some(cluster) = self.steering.choose(&request) else { return false };
+
+        // All structural checks passed: consume the fetch-queue entry.
+        self.fetch_queue.pop_front();
+        self.stats.dispatched += 1;
+        if decentralized && is_memref {
+            // Train the bank predictor in program order and account
+            // accuracy, now that this memref definitely dispatches.
+            let full_mask = self.cfg.clusters.count - 1;
+            let actual_full =
+                (d.mem.expect("memref without address").addr >> 3) as usize & full_mask;
+            self.bankpred.update(d.pc, actual_full as u8);
+            self.stats.bank_predictions += 1;
+            if predicted_bank != actual_full & (self.active - 1) {
+                self.stats.bank_mispredictions += 1;
+            }
+        }
+        self.clusters[cluster].iq_used[domain.index()] += 1;
+        if let Some(k) = dest_domain {
+            self.clusters[cluster].free_regs[k] -= 1;
+        }
+        let alloc_slice = match (self.cfg.cache.model, class) {
+            (CacheModel::Centralized, OpClass::Load | OpClass::Store) => {
+                self.lsq[0].allocate();
+                if class == OpClass::Store {
+                    self.lsq[0].add_unresolved_store(d.seq);
+                }
+                0
+            }
+            (CacheModel::Decentralized, OpClass::Load) => {
+                self.lsq[cluster].allocate();
+                cluster
+            }
+            (CacheModel::Decentralized, OpClass::Store) => {
+                for k in 0..self.active {
+                    self.lsq[k].allocate();
+                    self.lsq[k].add_unresolved_store(d.seq);
+                }
+                cluster
+            }
+            _ => 0,
+        };
+
+        // Rename: record what this destination frees at commit.
+        let frees = dest.map(|r| {
+            let ri = r.unified_index();
+            let k = usize::from(!r.is_int());
+            match self.rename[ri] {
+                Some(pseq) => (self.rob[self.rob_index(pseq)].cluster, k),
+                None => (self.arch_home[ri], k),
+            }
+        });
+
+        let mut entry = RobEntry {
+            d,
+            class,
+            cluster,
+            dest,
+            frees,
+            srcs_outstanding: 0,
+            src_arrival: [0; 2],
+            src_present: [false; 2],
+            ready_at: self.now + 1 + self.net.latency(0, cluster),
+            done: false,
+            done_at: 0,
+            distant: false,
+            mispredicted,
+            copies: [ABSENT; MAX_CLUSTERS],
+            waiters: Vec::new(),
+            agu_done: ABSENT,
+            store_value_at: ABSENT,
+            bank: 0,
+            bank_cluster: 0,
+            alloc_slice,
+            active_at_dispatch: self.active,
+        };
+
+        // Resolve sources: architectural and completed values get (or
+        // schedule) a local copy; in-flight producers get a waiter.
+        let seq = d.seq;
+        let mut pending_waits: Vec<(u64, u8)> = Vec::new();
+        let mut store_value_waited = false;
+        for (i, src) in sources.iter().enumerate() {
+            let Some(src) = src else { continue };
+            // A store's second source is its data: it gates completion
+            // but not address generation.
+            let store_value = class == OpClass::Store && i == 1;
+            if !store_value {
+                entry.src_present[i] = true;
+            }
+            let r = src.unified_index();
+            match self.rename[r] {
+                Some(pseq) => {
+                    let pidx = self.rob_index(pseq);
+                    if self.rob[pidx].done {
+                        let arrival = self.value_arrival(pidx, cluster);
+                        if store_value {
+                            entry.store_value_at = arrival;
+                        } else {
+                            entry.src_arrival[i] = arrival;
+                            entry.ready_at = entry.ready_at.max(arrival);
+                        }
+                    } else if store_value {
+                        store_value_waited = true;
+                        pending_waits.push((pseq, STORE_VALUE_SLOT));
+                    } else {
+                        entry.srcs_outstanding += 1;
+                        pending_waits.push((pseq, i as u8));
+                    }
+                }
+                None => {
+                    let arrival = self.arch_value_arrival(r, cluster);
+                    if store_value {
+                        entry.store_value_at = arrival;
+                    } else {
+                        entry.src_arrival[i] = arrival;
+                        entry.ready_at = entry.ready_at.max(arrival);
+                    }
+                }
+            }
+        }
+        if class == OpClass::Store && entry.store_value_at == ABSENT && !store_value_waited {
+            // Stores of the zero register have no data dependence.
+            entry.store_value_at = 0;
+        }
+        if let Some(r) = dest.map(ArchReg::unified_index) {
+            self.rename[r] = Some(seq);
+        }
+        if entry.srcs_outstanding == 0 {
+            let (group, ready_at) = (FuGroup::of(class), entry.ready_at);
+            self.clusters[cluster].enqueue(group, ready_at, seq);
+        }
+        self.rob.push_back(entry);
+        for (pseq, slot) in pending_waits {
+            let pidx = self.rob_index(pseq);
+            self.rob[pidx].waiters.push((seq, cluster, slot));
+        }
+        true
+    }
+
+    fn arch_value_arrival(&mut self, r: usize, to: usize) -> u64 {
+        if self.arch_avail[r][to] != ABSENT {
+            return self.arch_avail[r][to];
+        }
+        let home = self.arch_home[r];
+        let base = self.arch_avail[r][home];
+        let arrival = self.net.transfer(home, to, base.max(self.now));
+        self.stats.reg_transfers += 1;
+        self.stats.reg_transfer_hops += self.net.distance(home, to);
+        self.arch_avail[r][to] = arrival;
+        arrival
+    }
+
+    // ------------------------------------------------------ fetch
+
+    fn fetch(&mut self) {
+        if self.trace_done || self.awaiting_redirect || self.now < self.fetch_stall_until {
+            return;
+        }
+        let mut fetched = 0;
+        let mut blocks = 0;
+        while fetched < self.cfg.frontend.fetch_width
+            && self.fetch_queue.len() < self.cfg.frontend.fetch_queue
+        {
+            let Some(d) = self.trace.next() else {
+                self.trace_done = true;
+                break;
+            };
+            let mut mispredicted = false;
+            let mut block_ended = false;
+            if let Some(outcome) = d.branch {
+                let prediction = self.bpred.predict_and_update(d.pc, &outcome);
+                mispredicted = !prediction.correct;
+                block_ended = true;
+            }
+            self.fetch_queue.push_back(Fetched { d, fetched_at: self.now, mispredicted });
+            fetched += 1;
+            if mispredicted {
+                // Wrong path: fetch stalls until the branch resolves.
+                self.awaiting_redirect = true;
+                break;
+            }
+            if block_ended {
+                blocks += 1;
+                if blocks >= self.cfg.frontend.max_basic_blocks {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for Processor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Processor")
+            .field("cycle", &self.now)
+            .field("active", &self.active)
+            .field("committed", &self.stats.committed)
+            .field("rob_occupancy", &self.rob.len())
+            .field("policy", &self.policy.name())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,124 @@
+//! The interface between the processor and a dynamic
+//! cluster-allocation policy.
+//!
+//! The paper's algorithms run as a low-overhead software routine
+//! reading hardware event counters (§4.2); here a policy receives one
+//! [`CommitEvent`] per committed instruction — the same information
+//! those counters expose — and may request a different number of
+//! active clusters at any commit boundary.
+
+/// Everything a policy may observe about one committed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEvent {
+    /// Position in the committed instruction stream.
+    pub seq: u64,
+    /// The instruction's PC (instruction index).
+    pub pc: u32,
+    /// The cycle the instruction committed.
+    pub cycle: u64,
+    /// Whether this is any control transfer.
+    pub is_branch: bool,
+    /// Whether this is a conditional branch.
+    pub is_cond_branch: bool,
+    /// Whether this is a call.
+    pub is_call: bool,
+    /// Whether this is a return.
+    pub is_return: bool,
+    /// Whether this is a load or store.
+    pub is_memref: bool,
+    /// Whether the instruction issued while ≥ `DISTANT_DEPTH`
+    /// instructions younger than the ROB head (paper §4.3).
+    pub distant: bool,
+    /// Whether this control transfer was mispredicted.
+    pub mispredicted: bool,
+}
+
+/// The window depth beyond which an issuing instruction counts as
+/// *distant* ILP (paper §4.3: 120 instructions, the capacity of four
+/// clusters).
+pub const DISTANT_DEPTH: u64 = 120;
+
+/// A dynamic cluster-allocation policy.
+///
+/// Implementations live in the `clustered-core` crate; the simulator
+/// invokes [`ReconfigPolicy::on_commit`] for every committed
+/// instruction and applies any returned request (clamped to the legal
+/// configurations) — immediately for the centralized cache, or after a
+/// drain-and-flush for the decentralized cache.
+pub trait ReconfigPolicy {
+    /// A short display name for experiment tables.
+    fn name(&self) -> String;
+
+    /// The number of clusters to enable before the first instruction.
+    fn initial_clusters(&self) -> usize;
+
+    /// Observes one committed instruction; returns `Some(n)` to
+    /// request `n` active clusters.
+    fn on_commit(&mut self, event: &CommitEvent) -> Option<usize>;
+}
+
+/// The static baseline: a fixed number of clusters, never reconfigured
+/// (the paper's Figure 3 bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPolicy {
+    clusters: usize,
+}
+
+impl FixedPolicy {
+    /// A policy pinned to `clusters` active clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    pub fn new(clusters: usize) -> FixedPolicy {
+        assert!(clusters > 0, "cluster count must be non-zero");
+        FixedPolicy { clusters }
+    }
+}
+
+impl ReconfigPolicy for FixedPolicy {
+    fn name(&self) -> String {
+        format!("fixed-{}", self.clusters)
+    }
+
+    fn initial_clusters(&self) -> usize {
+        self.clusters
+    }
+
+    fn on_commit(&mut self, _event: &CommitEvent) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_never_reconfigures() {
+        let mut p = FixedPolicy::new(4);
+        assert_eq!(p.initial_clusters(), 4);
+        assert_eq!(p.name(), "fixed-4");
+        let e = CommitEvent {
+            seq: 0,
+            pc: 0,
+            cycle: 0,
+            is_branch: false,
+            is_cond_branch: false,
+            is_call: false,
+            is_return: false,
+            is_memref: false,
+            distant: false,
+            mispredicted: false,
+        };
+        for _ in 0..100 {
+            assert_eq!(p.on_commit(&e), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn fixed_policy_rejects_zero() {
+        let _ = FixedPolicy::new(0);
+    }
+}

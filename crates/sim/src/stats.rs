@@ -1,0 +1,225 @@
+//! Event counters accumulated during simulation.
+
+use crate::config::MAX_CLUSTERS;
+
+/// Counters maintained by the simulator, mirroring the hardware event
+/// counters the paper's software reconfiguration algorithm reads.
+///
+/// All counters cover the *measured* portion of a run (after any
+/// warm-up the caller discarded).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions dispatched.
+    pub dispatched: u64,
+    /// Committed conditional branches.
+    pub cond_branches: u64,
+    /// All committed control transfers.
+    pub branches: u64,
+    /// Mispredicted (direction or target) control transfers.
+    pub mispredicts: u64,
+    /// Committed loads + stores.
+    pub memrefs: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// L1 data-cache hits.
+    pub l1_hits: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L2 misses (memory accesses).
+    pub l2_misses: u64,
+    /// Store-to-load forwards in the LSQ.
+    pub lsq_forwards: u64,
+    /// Inter-cluster register-value transfers.
+    pub reg_transfers: u64,
+    /// Total hops travelled by register transfers.
+    pub reg_transfer_hops: u64,
+    /// Cache-related transfers (addresses/data to or from banks).
+    pub cache_transfers: u64,
+    /// Total hops travelled by cache-related transfers.
+    pub cache_transfer_hops: u64,
+    /// Committed instructions that issued while ≥120 instructions
+    /// younger than the ROB head ("distant" ILP, paper §4.3).
+    pub distant_issues: u64,
+    /// Bank-predictor lookups (decentralized model).
+    pub bank_predictions: u64,
+    /// Bank-predictor misses (decentralized model).
+    pub bank_mispredictions: u64,
+    /// Reconfigurations applied.
+    pub reconfigurations: u64,
+    /// Dirty L1 lines written back due to reconfiguration flushes
+    /// (decentralized model).
+    pub flush_writebacks: u64,
+    /// Cycles spent stalled in reconfiguration flushes.
+    pub flush_stall_cycles: u64,
+    /// Sum over cycles of the active-cluster count (for averaging).
+    pub active_cluster_cycles: u64,
+    /// Cycles spent in each active-cluster configuration, indexed by
+    /// cluster count − 1.
+    pub cycles_at_config: [u64; MAX_CLUSTERS],
+    /// Cycles dispatch stopped because the fetch queue was empty.
+    pub dispatch_stall_fetch: u64,
+    /// Cycles dispatch stopped because the ROB was full.
+    pub dispatch_stall_rob: u64,
+    /// Cycles dispatch stopped on cluster resources (issue queue,
+    /// registers, LSQ).
+    pub dispatch_stall_resources: u64,
+    /// Sum over cycles of ROB occupancy (divide by `cycles` for the
+    /// mean window depth).
+    pub rob_occupancy_sum: u64,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Committed instructions between mispredictions (Table 3's
+    /// "mispred branch interval").
+    pub fn mispredict_interval(&self) -> f64 {
+        if self.mispredicts == 0 {
+            f64::INFINITY
+        } else {
+            self.committed as f64 / self.mispredicts as f64
+        }
+    }
+
+    /// L1 data-cache hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean active clusters over the run.
+    pub fn avg_active_clusters(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.active_cluster_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean hops per register transfer.
+    pub fn avg_transfer_hops(&self) -> f64 {
+        if self.reg_transfers == 0 {
+            0.0
+        } else {
+            self.reg_transfer_hops as f64 / self.reg_transfers as f64
+        }
+    }
+
+    /// Bank-prediction accuracy (decentralized model).
+    pub fn bank_accuracy(&self) -> f64 {
+        if self.bank_predictions == 0 {
+            1.0
+        } else {
+            1.0 - self.bank_mispredictions as f64 / self.bank_predictions as f64
+        }
+    }
+
+    /// Counter differences `self - earlier`, for interval statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is not an earlier snapshot
+    /// of the same run.
+    pub fn delta_since(&self, earlier: &SimStats) -> SimStats {
+        let mut d = *self;
+        debug_assert!(self.cycles >= earlier.cycles, "snapshots out of order");
+        d.cycles -= earlier.cycles;
+        d.committed -= earlier.committed;
+        d.dispatched -= earlier.dispatched;
+        d.cond_branches -= earlier.cond_branches;
+        d.branches -= earlier.branches;
+        d.mispredicts -= earlier.mispredicts;
+        d.memrefs -= earlier.memrefs;
+        d.loads -= earlier.loads;
+        d.stores -= earlier.stores;
+        d.l1_hits -= earlier.l1_hits;
+        d.l1_misses -= earlier.l1_misses;
+        d.l2_misses -= earlier.l2_misses;
+        d.lsq_forwards -= earlier.lsq_forwards;
+        d.reg_transfers -= earlier.reg_transfers;
+        d.reg_transfer_hops -= earlier.reg_transfer_hops;
+        d.cache_transfers -= earlier.cache_transfers;
+        d.cache_transfer_hops -= earlier.cache_transfer_hops;
+        d.distant_issues -= earlier.distant_issues;
+        d.bank_predictions -= earlier.bank_predictions;
+        d.bank_mispredictions -= earlier.bank_mispredictions;
+        d.reconfigurations -= earlier.reconfigurations;
+        d.flush_writebacks -= earlier.flush_writebacks;
+        d.flush_stall_cycles -= earlier.flush_stall_cycles;
+        d.active_cluster_cycles -= earlier.active_cluster_cycles;
+        for i in 0..MAX_CLUSTERS {
+            d.cycles_at_config[i] -= earlier.cycles_at_config[i];
+        }
+        d.dispatch_stall_fetch -= earlier.dispatch_stall_fetch;
+        d.dispatch_stall_rob -= earlier.dispatch_stall_rob;
+        d.dispatch_stall_resources -= earlier.dispatch_stall_resources;
+        d.rob_occupancy_sum -= earlier.rob_occupancy_sum;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(SimStats::default().ipc(), 0.0);
+        let s = SimStats { cycles: 100, committed: 250, ..SimStats::default() };
+        assert_eq!(s.ipc(), 2.5);
+    }
+
+    #[test]
+    fn mispredict_interval() {
+        let s = SimStats { committed: 1000, mispredicts: 10, ..SimStats::default() };
+        assert_eq!(s.mispredict_interval(), 100.0);
+        let none = SimStats { committed: 1000, ..SimStats::default() };
+        assert!(none.mispredict_interval().is_infinite());
+    }
+
+    #[test]
+    fn delta_since_subtracts_all_fields() {
+        let a = SimStats { cycles: 10, committed: 20, l1_hits: 5, ..SimStats::default() };
+        let b = SimStats { cycles: 25, committed: 70, l1_hits: 11, ..SimStats::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.cycles, 15);
+        assert_eq!(d.committed, 50);
+        assert_eq!(d.l1_hits, 6);
+    }
+
+    #[test]
+    fn rates() {
+        let s = SimStats {
+            cycles: 100,
+            l1_hits: 90,
+            l1_misses: 10,
+            reg_transfers: 4,
+            reg_transfer_hops: 10,
+            bank_predictions: 100,
+            bank_mispredictions: 15,
+            active_cluster_cycles: 800,
+            ..SimStats::default()
+        };
+        assert_eq!(s.l1_hit_rate(), 0.9);
+        assert_eq!(s.avg_transfer_hops(), 2.5);
+        assert_eq!(s.bank_accuracy(), 0.85);
+        assert_eq!(s.avg_active_clusters(), 8.0);
+    }
+}

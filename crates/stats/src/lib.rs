@@ -1,0 +1,12 @@
+//! Reporting utilities for `clustered` experiments: aggregate means,
+//! plain-text tables, and simple text charts for regenerating the
+//! paper's figures on a terminal.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod summary;
+mod table;
+
+pub use summary::{geometric_mean, harmonic_mean, normalised, percent_change};
+pub use table::{Align, Table};

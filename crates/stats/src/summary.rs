@@ -1,0 +1,74 @@
+//! Aggregate statistics used in the experiment reports.
+
+/// Geometric mean of `values` (the paper aggregates speedups this way).
+///
+/// Returns `None` for an empty slice or any non-positive value.
+///
+/// # Examples
+///
+/// ```
+/// use clustered_stats::geometric_mean;
+/// let g = geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Harmonic mean of `values`.
+///
+/// Returns `None` for an empty slice or any non-positive value.
+pub fn harmonic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    Some(values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>())
+}
+
+/// `value` as a multiple of `baseline` (IPC normalisation in figures).
+///
+/// Returns `None` if `baseline` is not positive and finite.
+pub fn normalised(value: f64, baseline: f64) -> Option<f64> {
+    (baseline > 0.0 && baseline.is_finite()).then(|| value / baseline)
+}
+
+/// Percentage change from `baseline` to `value` ("+11%" style).
+///
+/// Returns `None` if `baseline` is not positive and finite.
+pub fn percent_change(value: f64, baseline: f64) -> Option<f64> {
+    normalised(value, baseline).map(|r| (r - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[2.0, 0.0]), None);
+        let single = geometric_mean(&[3.0]).unwrap();
+        assert!((single - 3.0).abs() < 1e-12, "exp(ln 3) within rounding: {single}");
+        let g = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[]), None);
+        let h = harmonic_mean(&[1.0, 3.0]).unwrap();
+        assert!((h - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(normalised(3.0, 2.0), Some(1.5));
+        assert_eq!(normalised(3.0, 0.0), None);
+        assert!((percent_change(2.22, 2.0).unwrap() - 11.0).abs() < 1e-9);
+        assert_eq!(percent_change(1.0, f64::NAN), None);
+    }
+}

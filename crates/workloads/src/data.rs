@@ -1,0 +1,101 @@
+//! Deterministic generation of workload data segments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fixed seed all workloads derive their data from, so every run of
+/// every experiment sees byte-identical inputs.
+pub const WORKLOAD_SEED: u64 = 0x5eed_c1a5;
+
+/// A deterministic RNG for a given workload name, independent of the
+/// order workloads are constructed in.
+pub fn rng_for(name: &str) -> StdRng {
+    let mut h = WORKLOAD_SEED;
+    for b in name.bytes() {
+        h = h.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// `n` doubles uniform in `[lo, hi)`, as little-endian bytes.
+pub fn f64_block(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n * 8);
+    for _ in 0..n {
+        let v: f64 = rng.gen_range(lo..hi);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// `n` u64 values uniform in `[0, bound)`, as little-endian bytes.
+pub fn u64_block(rng: &mut StdRng, n: usize, bound: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n * 8);
+    for _ in 0..n {
+        let v: u64 = rng.gen_range(0..bound);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// `n` random bytes (incompressible input).
+pub fn random_bytes(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// `n` bytes built by repeating a short random pattern with occasional
+/// substitutions — highly compressible input with long LZ matches.
+pub fn repetitive_bytes(rng: &mut StdRng, n: usize, period: usize, noise_one_in: usize) -> Vec<u8> {
+    let pattern: Vec<u8> = (0..period).map(|_| rng.gen()).collect();
+    (0..n)
+        .map(|i| {
+            if noise_one_in > 0 && rng.gen_range(0..noise_one_in) == 0 {
+                rng.gen()
+            } else {
+                pattern[i % period]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: u64 = rng_for("gzip").gen();
+        let b: u64 = rng_for("gzip").gen();
+        let c: u64 = rng_for("swim").gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_block_in_range() {
+        let mut rng = rng_for("t");
+        let bytes = f64_block(&mut rng, 100, -1.0, 1.0);
+        assert_eq!(bytes.len(), 800);
+        for chunk in bytes.chunks(8) {
+            let v = f64::from_le_bytes(chunk.try_into().unwrap());
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn u64_block_bounded() {
+        let mut rng = rng_for("t");
+        let bytes = u64_block(&mut rng, 50, 10);
+        for chunk in bytes.chunks(8) {
+            let v = u64::from_le_bytes(chunk.try_into().unwrap());
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn repetitive_bytes_mostly_periodic() {
+        let mut rng = rng_for("t");
+        let bytes = repetitive_bytes(&mut rng, 1000, 16, 100);
+        let matches = bytes.iter().enumerate().filter(|&(i, &b)| b == bytes[i % 16]).count();
+        assert!(matches > 900, "expected mostly periodic data, got {matches}/1000");
+    }
+}

@@ -1,0 +1,91 @@
+//! `crafty` analogue: bitboard manipulation with data-dependent loops
+//! and evaluation subroutines.
+//!
+//! Profile targeted (paper Table 3): branchy integer code (IPC 1.85,
+//! misprediction interval ~118) with heavy call/return traffic — the
+//! paper observed its fine-grained scheme reconfigure most often on
+//! crafty (1.5M changes).
+
+use super::REGION_TAB;
+use crate::data::{rng_for, u64_block};
+
+/// Entries in the piece-value lookup table.
+const TABLE: usize = 64;
+
+pub(crate) fn build() -> (String, Vec<(u64, Vec<u8>)>) {
+    let mut rng = rng_for("crafty");
+    let segments = vec![(REGION_TAB, u64_block(&mut rng, TABLE, 1024))];
+    let source = format!(
+        r"
+# crafty analogue: generate positions, pop bits, score via table.
+start:
+    li r21, 1378784879315654393     # LCG state
+    li r26, {table}
+outer:
+    li r20, 8192                    # positions per pass
+pos:
+    li r22, 6364136223846793005
+    mul r21, r21, r22
+    li r22, 1442695040888963407
+    add r21, r21, r22
+    mov r1, r21                     # board
+    mul r21, r21, r22
+    add r21, r21, r22
+    and r3, r1, r21                 # attack mask
+    li r2, 65535
+    and r3, r3, r2                  # confine popcount to 16 bits
+    mov r14, r3                     # popcnt clobbers its argument
+    call popcnt
+    add r19, r19, r4                # mobility score
+    sub r5, r0, r14                 # isolate lowest set bit
+    and r5, r5, r14
+    li r6, 285870213051386505
+    mul r6, r5, r6
+    srli r6, r6, 58
+    slli r6, r6, 3
+    add r7, r26, r6
+    ld r8, 0(r7)                    # piece value
+    andi r9, r8, 1
+    beqz r9, even_val               # data-dependent scoring branch
+    add r19, r19, r8
+even_val:
+    andi r9, r1, 7
+    bnez r9, common                 # ~1/8 of positions get deep eval
+    call deep_eval
+common:
+    addi r20, r20, -1
+    bnez r20, pos
+    j outer
+
+# Fixed-trip popcount over 16 bits (predictable loop exit).
+# Arg: r3 (clobbered). Result: r4.
+popcnt:
+    li r4, 0
+    li r6, 16
+pc_loop:
+    andi r5, r3, 1
+    add r4, r4, r5
+    srli r3, r3, 1
+    addi r6, r6, -1
+    bnez r6, pc_loop
+    ret
+
+# Deep evaluation: fold the board through the value table.
+deep_eval:
+    mov r10, r1
+    li r11, 8
+de_loop:
+    andi r12, r10, 63
+    slli r12, r12, 3
+    add r12, r12, r26
+    ld r13, 0(r12)
+    add r19, r19, r13
+    srli r10, r10, 8
+    addi r11, r11, -1
+    bnez r11, de_loop
+    ret
+",
+        table = REGION_TAB,
+    );
+    (source, segments)
+}

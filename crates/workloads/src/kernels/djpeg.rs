@@ -1,0 +1,125 @@
+//! `djpeg` analogue: blocked inverse-DCT-style butterflies.
+//!
+//! Profile targeted (paper Table 3): the highest-IPC code in the suite
+//! (4.07) with moderate misprediction interval (~249). Every 8×8 block
+//! is independent, so a large instruction window exposes *distant* ILP
+//! across blocks — this kernel is the strongest advocate for 16
+//! clusters in the suite.
+
+use super::{REGION_A, REGION_TAB};
+use crate::data::{f64_block, rng_for};
+use rand::Rng;
+
+/// Number of 8×8 blocks (each 64 doubles; 1024 blocks = 512 KB).
+const BLOCKS: usize = 1024;
+
+pub(crate) fn build() -> (String, Vec<(u64, Vec<u8>)>) {
+    let mut rng = rng_for("djpeg");
+    let coeffs = f64_block(&mut rng, BLOCKS * 64, -128.0, 128.0);
+    // ~10% of blocks are flagged "DC-only" and skipped, a data-dependent
+    // decision the branch predictor cannot fully learn.
+    let flags: Vec<u8> = (0..BLOCKS).map(|_| u8::from(rng.gen_range(0..10) == 0)).collect();
+    let segments = vec![(REGION_A, coeffs), (REGION_TAB, flags)];
+    let source = format!(
+        r"
+# djpeg analogue: per-row 1-D IDCT butterflies with clamping.
+start:
+    fli f20, 0.70710678     # sqrt(2)/2
+    fli f21, 0.38268343
+    fli f22, 0.92387953
+    fli f23, 0.54119610
+    fli f30, 0.0            # clamp low
+    fli f31, 255.0          # clamp high
+outer:
+    li r1, {blocks_base}    # block walker
+    li r5, {flags_base}     # flag walker
+    li r4, {blocks}
+block:
+    lbu r6, 0(r5)
+    bnez r6, skipblk        # DC-only block: nothing to do
+    li r7, 8                # rows in the block
+    mov r10, r1
+rowloop:
+    call idct_row
+    addi r10, r10, 64
+    addi r7, r7, -1
+    bnez r7, rowloop
+skipblk:
+    addi r1, r1, 512
+    addi r5, r5, 1
+    addi r4, r4, -1
+    bnez r4, block
+    j outer
+
+# One row of 8 coefficients, transformed in place. Arg: r10 = row base.
+idct_row:
+    fld f1, 0(r10)
+    fld f2, 8(r10)
+    fld f3, 16(r10)
+    fld f4, 24(r10)
+    fld f5, 32(r10)
+    fld f6, 40(r10)
+    fld f7, 48(r10)
+    fld f8, 56(r10)
+    fadd f9, f1, f5         # even part
+    fsub f10, f1, f5
+    fmul f11, f3, f22
+    fmul f12, f7, f21
+    fsub f13, f11, f12
+    fmul f11, f3, f21
+    fmul f12, f7, f22
+    fadd f14, f11, f12
+    fadd f15, f9, f14       # stage outputs
+    fsub f16, f9, f14
+    fadd f17, f10, f13
+    fsub f18, f10, f13
+    fadd f9, f2, f8         # odd part
+    fsub f10, f2, f8
+    fadd f11, f4, f6
+    fsub f12, f4, f6
+    fmul f10, f10, f20
+    fmul f12, f12, f23
+    fadd f13, f9, f11
+    fsub f14, f9, f11
+    fadd f19, f10, f12
+    fsub f24, f10, f12
+    fadd f1, f15, f13       # recombine + clamp + store
+    fmax f1, f1, f30
+    fmin f1, f1, f31
+    fsd f1, 0(r10)
+    fadd f2, f17, f19
+    fmax f2, f2, f30
+    fmin f2, f2, f31
+    fsd f2, 8(r10)
+    fadd f3, f18, f24
+    fmax f3, f3, f30
+    fmin f3, f3, f31
+    fsd f3, 16(r10)
+    fadd f4, f16, f14
+    fmax f4, f4, f30
+    fmin f4, f4, f31
+    fsd f4, 24(r10)
+    fsub f5, f16, f14
+    fmax f5, f5, f30
+    fmin f5, f5, f31
+    fsd f5, 32(r10)
+    fsub f6, f18, f24
+    fmax f6, f6, f30
+    fmin f6, f6, f31
+    fsd f6, 40(r10)
+    fsub f7, f17, f19
+    fmax f7, f7, f30
+    fmin f7, f7, f31
+    fsd f7, 48(r10)
+    fsub f8, f15, f13
+    fmax f8, f8, f30
+    fmin f8, f8, f31
+    fsd f8, 56(r10)
+    ret
+",
+        blocks_base = REGION_A,
+        flags_base = REGION_TAB,
+        blocks = BLOCKS,
+    );
+    (source, segments)
+}

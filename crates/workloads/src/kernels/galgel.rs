@@ -1,0 +1,85 @@
+//! `galgel` analogue: dense matrix–vector products with data-dependent
+//! counting branches.
+//!
+//! Profile targeted (paper Table 3): high-IPC FP code (3.43) that still
+//! takes branch mispredictions fairly often (interval ~88) because of
+//! value-dependent decisions inside the numeric loops.
+
+use super::{REGION_A, REGION_B, REGION_C};
+use crate::data::{f64_block, rng_for};
+
+/// Matrix dimension (128×128 doubles = 128 KB: larger than the L1,
+/// resident in the L2 after the first pass).
+const DIM: usize = 128;
+
+pub(crate) fn build() -> (String, Vec<(u64, Vec<u8>)>) {
+    let mut rng = rng_for("galgel");
+    // Skewed range: ~10% of the entries are negative, so the sign test
+    // in the inner loop is a genuinely data-dependent branch.
+    let segments = vec![
+        (REGION_A, f64_block(&mut rng, DIM * DIM, -0.12, 1.0)),
+        (REGION_B, f64_block(&mut rng, DIM, -1.0, 1.0)),
+        (REGION_C, vec![0u8; DIM * 8]),
+    ];
+    let source = format!(
+        r"
+# galgel analogue: y = A*x with 4-way unrolled accumulation.
+start:
+    fli f16, 0.0
+outer:
+    li r1, {a}              # A walker
+    li r9, {y}              # y walker
+    li r5, {dim}            # rows left
+row:
+    li r2, {x}
+    li r4, {chunks}         # DIM/4 unrolled chunks
+    fli f1, 0.0
+    fli f2, 0.0
+    fli f3, 0.0
+    fli f4, 0.0
+inner:
+    fld f5, 0(r1)
+    fld f6, 0(r2)
+    fmul f7, f5, f6
+    fadd f1, f1, f7
+    fld f8, 8(r1)
+    fld f9, 8(r2)
+    fmul f10, f8, f9
+    fadd f2, f2, f10
+    fld f11, 16(r1)
+    fld f12, 16(r2)
+    fmul f13, f11, f12
+    fadd f3, f3, f13
+    fld f14, 24(r1)
+    fld f15, 24(r2)
+    fmul f7, f14, f15
+    fadd f4, f4, f7
+    flt r6, f5, f16         # data-dependent: negative entry?
+    beqz r6, pos
+    addi r8, r8, 1          # negative-entry census
+pos:
+    addi r1, r1, 32
+    addi r2, r2, 32
+    addi r4, r4, -1
+    bnez r4, inner
+    fadd f1, f1, f2
+    fadd f3, f3, f4
+    fadd f1, f1, f3
+    fsd f1, 0(r9)
+    flt r6, f16, f1         # positive row sum?
+    beqz r6, nonpos
+    addi r7, r7, 1
+nonpos:
+    addi r9, r9, 8
+    addi r5, r5, -1
+    bnez r5, row
+    j outer
+",
+        a = REGION_A,
+        x = REGION_B,
+        y = REGION_C,
+        dim = DIM,
+        chunks = DIM / 4,
+    );
+    (source, segments)
+}

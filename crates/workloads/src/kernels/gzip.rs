@@ -1,0 +1,109 @@
+//! `gzip` analogue: LZ77-style hash matching over input whose
+//! compressibility alternates in long regions.
+//!
+//! Profile targeted (paper §4.2): prolonged program *phases* — in
+//! compressible regions long matches are found and the match/checksum
+//! loops expose distant ILP; in incompressible regions the kernel
+//! degenerates into a serial hash-probe-miss loop with frequent
+//! data-dependent mispredictions. The paper highlights `gzip` as the
+//! program where a dynamic scheme beats even the best static
+//! configuration, because different phases want different cluster
+//! counts.
+
+use super::{REGION_A, REGION_TAB};
+use crate::data::{random_bytes, repetitive_bytes, rng_for};
+
+/// Total input size in bytes.
+const INPUT: usize = 256 * 1024;
+/// Length of each alternating compressible/incompressible region.
+const REGION: usize = 16 * 1024;
+/// Hash-head table entries.
+const HEADS: usize = 4096;
+
+pub(crate) fn build() -> (String, Vec<(u64, Vec<u8>)>) {
+    let mut rng = rng_for("gzip");
+    let mut input = Vec::with_capacity(INPUT);
+    let mut compressible = true;
+    while input.len() < INPUT {
+        if compressible {
+            input.extend(repetitive_bytes(&mut rng, REGION, 24, 400));
+        } else {
+            input.extend(random_bytes(&mut rng, REGION));
+        }
+        compressible = !compressible;
+    }
+    let segments = vec![(REGION_A, input), (REGION_TAB, vec![0u8; HEADS * 8])];
+    let source = format!(
+        r"
+# gzip analogue: hash-head LZ match with checksum over matched bytes.
+start:
+    li r9, {heads}
+outer:
+    li r1, 0                # position in input
+gz_loop:
+    li r2, {input}
+    add r3, r2, r1          # &input[pos]
+    lbu r4, 0(r3)           # hash 3 bytes
+    lbu r5, 1(r3)
+    lbu r6, 2(r3)
+    slli r5, r5, 5
+    slli r6, r6, 10
+    xor r4, r4, r5
+    xor r4, r4, r6
+    andi r4, r4, {hmask}
+    slli r4, r4, 3
+    add r4, r9, r4          # &head[h]
+    ld r7, 0(r4)            # previous position + 1 (0 = empty)
+    addi r8, r1, 1
+    sd r8, 0(r4)
+    beqz r7, gz_nomatch
+    addi r7, r7, -1
+    add r10, r2, r7         # candidate
+    li r11, 0               # match length
+cmp_loop:
+    add r12, r10, r11
+    lbu r13, 0(r12)
+    add r12, r3, r11
+    lbu r14, 0(r12)
+    bne r13, r14, cmp_done
+    addi r11, r11, 1
+    slti r12, r11, 32
+    bnez r12, cmp_loop
+cmp_done:
+    slti r12, r11, 3
+    bnez r12, gz_nomatch
+    # a match: checksum the matched bytes 4 at a time (independent chains)
+    mov r12, r10
+    srli r15, r11, 2
+    beqz r15, gz_adv
+crc_loop:
+    lbu r13, 0(r12)
+    add r20, r20, r13
+    lbu r13, 1(r12)
+    add r21, r21, r13
+    lbu r13, 2(r12)
+    add r22, r22, r13
+    lbu r13, 3(r12)
+    add r23, r23, r13
+    addi r12, r12, 4
+    addi r15, r15, -1
+    bnez r15, crc_loop
+gz_adv:
+    add r1, r1, r11         # advance past the match
+    addi r16, r16, 1        # match census
+    j gz_next
+gz_nomatch:
+    addi r1, r1, 1
+    addi r17, r17, 1        # literal census
+gz_next:
+    li r12, {limit}
+    blt r1, r12, gz_loop
+    j outer
+",
+        input = REGION_A,
+        heads = REGION_TAB,
+        hmask = HEADS - 1,
+        limit = INPUT - 64,
+    );
+    (source, segments)
+}

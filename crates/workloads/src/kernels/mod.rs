@@ -1,0 +1,29 @@
+//! The nine benchmark-analogue kernels.
+//!
+//! Each kernel module exposes `build() -> (String, Vec<(u64, Vec<u8>)>)`:
+//! the assembly source of an *endless* kernel loop (the simulator, not
+//! the program, decides how many instructions to run) plus the memory
+//! segments holding its deterministically generated input data.
+//!
+//! Large inputs live at fixed virtual bases rather than in `.data` so
+//! that hundreds of kilobytes of input need not round-trip through the
+//! assembler.
+
+pub(crate) mod cjpeg;
+pub(crate) mod crafty;
+pub(crate) mod djpeg;
+pub(crate) mod galgel;
+pub(crate) mod gzip;
+pub(crate) mod mgrid;
+pub(crate) mod parser;
+pub(crate) mod swim;
+pub(crate) mod vpr;
+
+/// Base of the first large input region (per kernel: array A / input).
+pub(crate) const REGION_A: u64 = 0x2000_0000;
+/// Base of the second large input region.
+pub(crate) const REGION_B: u64 = 0x2100_0000;
+/// Base of the third large input region.
+pub(crate) const REGION_C: u64 = 0x2200_0000;
+/// Base of lookup-table regions.
+pub(crate) const REGION_TAB: u64 = 0x2300_0000;

@@ -1,0 +1,93 @@
+//! `parser` analogue: hash-bucket dictionary lookups over linked lists.
+//!
+//! Profile targeted (paper Table 3): the lowest-ILP integer code in the
+//! suite (IPC 1.42) — every lookup is a serial pointer chase whose exit
+//! branch depends on where in the chain the key sits (uniformly random
+//! depth 1–4), giving a short misprediction interval (~88).
+
+use super::{REGION_A, REGION_TAB};
+use crate::data::rng_for;
+use rand::seq::SliceRandom;
+
+/// Number of hash buckets.
+const BUCKETS: usize = 512;
+/// Chain length per bucket.
+const DEPTH: usize = 4;
+/// Bytes per node: key, value, next.
+const NODE: usize = 24;
+
+pub(crate) fn build() -> (String, Vec<(u64, Vec<u8>)>) {
+    let mut rng = rng_for("parser");
+    let total = BUCKETS * DEPTH;
+    // Scatter the nodes of every chain across the arena so pointer
+    // chasing has no spatial locality.
+    let mut slots: Vec<usize> = (0..total).collect();
+    slots.shuffle(&mut rng);
+    let mut arena = vec![0u8; total * NODE];
+    let mut heads = vec![0u8; BUCKETS * 8];
+    for bucket in 0..BUCKETS {
+        let mut next_addr = 0u64; // chain terminator
+        for link in (0..DEPTH).rev() {
+            let slot = slots[bucket * DEPTH + link];
+            let addr = REGION_A + (slot * NODE) as u64;
+            let key = (bucket + link * BUCKETS) as u64;
+            let value = (bucket * 7 + link) as u64;
+            let off = slot * NODE;
+            arena[off..off + 8].copy_from_slice(&key.to_le_bytes());
+            arena[off + 8..off + 16].copy_from_slice(&value.to_le_bytes());
+            arena[off + 16..off + 24].copy_from_slice(&next_addr.to_le_bytes());
+            next_addr = addr;
+        }
+        heads[bucket * 8..bucket * 8 + 8].copy_from_slice(&next_addr.to_le_bytes());
+    }
+    let segments = vec![(REGION_A, arena), (REGION_TAB, heads)];
+    let source = format!(
+        r"
+# parser analogue: LCG key stream -> bucket -> linked-list search.
+start:
+    li r21, 88172645463325252   # LCG state
+    li r26, {heads}
+outer:
+    li r20, 4096                # lookups per pass
+lookup:
+    li r22, 6364136223846793005
+    mul r21, r21, r22
+    li r22, 1442695040888963407
+    add r21, r21, r22
+    srli r23, r21, 33
+    andi r24, r23, {bmask}      # bucket index
+    slli r25, r24, 3
+    add r25, r25, r26
+    ld r1, 0(r25)               # chain head
+    srli r27, r23, 10
+    andi r27, r27, {dmask}      # random chain depth...
+    srli r29, r23, 12
+    andi r29, r29, {dmask}
+    and r27, r27, r29           # ...skewed toward shallow entries
+    srli r29, r23, 14
+    andi r29, r29, {dmask}
+    and r27, r27, r29
+    slli r27, r27, {bshift}
+    add r28, r24, r27           # target key = bucket + depth*BUCKETS
+walk:
+    ld r2, 0(r1)                # node key
+    beq r2, r28, found
+    ld r1, 16(r1)               # next node
+    bnez r1, walk
+    addi r18, r18, 1            # miss census
+    j lk_done
+found:
+    ld r3, 8(r1)                # node value
+    add r19, r19, r3
+lk_done:
+    addi r20, r20, -1
+    bnez r20, lookup
+    j outer
+",
+        heads = REGION_TAB,
+        bmask = BUCKETS - 1,
+        bshift = BUCKETS.trailing_zeros(),
+        dmask = DEPTH - 1,
+    );
+    (source, segments)
+}

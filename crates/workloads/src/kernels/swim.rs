@@ -1,0 +1,75 @@
+//! `swim` analogue: streaming shallow-water-style stencil.
+//!
+//! Profile targeted (paper Table 3): memory-bound FP code, IPC 1.67,
+//! a branch misprediction only every ~22600 instructions, abundant
+//! distant ILP (independent loop iterations), working set well beyond
+//! the L1.
+
+use super::{REGION_A, REGION_B, REGION_C};
+use crate::data::{f64_block, rng_for};
+
+/// Doubles per array (512 KB each — three arrays stream through L2).
+const N: usize = 65_536;
+
+pub(crate) fn build() -> (String, Vec<(u64, Vec<u8>)>) {
+    let mut rng = rng_for("swim");
+    let segments = vec![
+        (REGION_A, f64_block(&mut rng, N, -1.0, 1.0)),
+        (REGION_B, f64_block(&mut rng, N, -1.0, 1.0)),
+        (REGION_C, vec![0u8; N * 8]),
+    ];
+    let iters = N - 2;
+    let source = format!(
+        r"
+# swim analogue: two streaming stencil passes per outer iteration.
+start:
+    fli f0, 0.25            # stencil weight
+    fli f10, 0.5            # velocity weight
+    fli f12, 0.0009765625   # relaxation (2^-10)
+outer:
+    li r1, {u}              # U
+    li r2, {v}              # V
+    li r3, {p}              # P (output)
+    li r4, {iters}
+pass1:                      # P[i+1] = 0.25*(U[i]+U[i+2]-2U[i+1]) + 0.5*(V[i]+V[i+1])
+    fld f1, 0(r1)
+    fld f2, 8(r1)
+    fld f3, 16(r1)
+    fld f4, 0(r2)
+    fld f5, 8(r2)
+    fadd f6, f1, f3
+    fsub f6, f6, f2
+    fsub f6, f6, f2
+    fmul f7, f6, f0
+    fadd f8, f4, f5
+    fmul f9, f8, f10
+    fadd f11, f7, f9
+    fsd f11, 8(r3)
+    addi r1, r1, 8
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r4, r4, -1
+    bnez r4, pass1
+    li r1, {u}
+    li r3, {p}
+    li r4, {n}
+pass2:                      # U[i] += eps * P[i]
+    fld f1, 0(r1)
+    fld f2, 0(r3)
+    fmul f3, f2, f12
+    fadd f4, f1, f3
+    fsd f4, 0(r1)
+    addi r1, r1, 8
+    addi r3, r3, 8
+    addi r4, r4, -1
+    bnez r4, pass2
+    j outer
+",
+        u = REGION_A,
+        v = REGION_B,
+        p = REGION_C,
+        iters = iters,
+        n = N,
+    );
+    (source, segments)
+}

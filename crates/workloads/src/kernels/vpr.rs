@@ -1,0 +1,61 @@
+//! `vpr` analogue: annealing-style random cell swaps over a placement
+//! grid.
+//!
+//! Profile targeted (paper Table 3): the lowest-IPC code in the suite
+//! (1.20) — a serial LCG dependence chain, scattered loads over a large
+//! grid, and a biased but unpredictable accept/reject branch
+//! (misprediction interval ~171).
+
+use super::REGION_A;
+use crate::data::{rng_for, u64_block};
+
+/// Cells in the placement grid (64 KB: twice the L1).
+const CELLS: usize = 8_192;
+
+pub(crate) fn build() -> (String, Vec<(u64, Vec<u8>)>) {
+    let mut rng = rng_for("vpr");
+    let segments = vec![(REGION_A, u64_block(&mut rng, CELLS, 1 << 20))];
+    let source = format!(
+        r"
+# vpr analogue: pick two random cells, evaluate, maybe swap.
+start:
+    li r21, 2862933555777941757     # LCG state
+    li r26, {cells_base}
+outer:
+    li r20, 8192                    # moves per pass
+move:
+    li r22, 6364136223846793005
+    mul r21, r21, r22
+    li r22, 1442695040888963407
+    add r21, r21, r22
+    srli r23, r21, 24
+    andi r1, r23, {cmask}           # cell index 1
+    srli r23, r23, 20
+    andi r2, r23, {cmask}           # cell index 2
+    slli r1, r1, 3
+    slli r2, r2, 3
+    add r1, r1, r26
+    add r2, r2, r26
+    ld r3, 0(r1)                    # cost fields
+    ld r4, 0(r2)
+    xor r21, r21, r4                # placement state feeds the next move
+    xor r5, r3, r4                  # crude cost delta
+    andi r5, r5, 255
+    slti r6, r5, 218                # accept ~85% of moves
+    beqz r6, reject
+    sd r4, 0(r1)                    # swap the cells
+    sd r3, 0(r2)
+    addi r17, r17, 1                # accept census
+    j next
+reject:
+    addi r18, r18, 1                # reject census
+next:
+    addi r20, r20, -1
+    bnez r20, move
+    j outer
+",
+        cells_base = REGION_A,
+        cmask = CELLS - 1,
+    );
+    (source, segments)
+}

@@ -1,0 +1,63 @@
+//! Published characteristics of the benchmarks each kernel stands in for.
+
+/// The benchmark suite a workload's original came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// SPEC2000 integer.
+    SpecInt,
+    /// SPEC2000 floating-point.
+    SpecFp,
+    /// UCLA Mediabench.
+    Mediabench,
+}
+
+impl WorkloadClass {
+    /// Human-readable suite name as used in the paper's Table 3.
+    pub fn suite_name(self) -> &'static str {
+        match self {
+            WorkloadClass::SpecInt => "SPEC2k Int",
+            WorkloadClass::SpecFp => "SPEC2k FP",
+            WorkloadClass::Mediabench => "Mediabench",
+        }
+    }
+}
+
+/// The values the paper reports for the original benchmark (Tables 3
+/// and 4), kept for side-by-side comparison in experiment output.
+///
+/// These are *targets for shape comparison*, not numbers this
+/// reproduction is expected to match absolutely: the substrate here is
+/// a synthetic kernel on a from-scratch simulator, not an Alpha binary
+/// on the authors' SimpleScalar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperProfile {
+    /// Which suite the original benchmark belonged to.
+    pub class: WorkloadClass,
+    /// Table 3: IPC on the monolithic processor with 16 clusters worth
+    /// of resources.
+    pub base_ipc: f64,
+    /// Table 3: committed instructions between branch mispredictions.
+    pub mispredict_interval: u32,
+    /// Table 4: smallest interval length (instructions) with an
+    /// instability factor below 5%.
+    pub min_stable_interval: u64,
+    /// Table 4: instability factor (percent) at a fixed 10K-instruction
+    /// interval.
+    pub instability_at_10k: f64,
+    /// Whether the paper found the benchmark rich in *distant* ILP
+    /// (prefers 16 clusters) rather than communication-bound
+    /// (prefers ~4).
+    pub distant_ilp: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names() {
+        assert_eq!(WorkloadClass::SpecInt.suite_name(), "SPEC2k Int");
+        assert_eq!(WorkloadClass::SpecFp.suite_name(), "SPEC2k FP");
+        assert_eq!(WorkloadClass::Mediabench.suite_name(), "Mediabench");
+    }
+}

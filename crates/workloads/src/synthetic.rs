@@ -1,0 +1,222 @@
+//! Synthetic workloads with *controlled* phase structure.
+//!
+//! The nine named kernels imitate real benchmarks; these synthetic
+//! generators instead give experiments a known ground truth: you say
+//! exactly which phases exist and how much distant ILP each has, so a
+//! reconfiguration policy's choices can be checked against what it
+//! *should* have picked.
+
+use crate::{PaperProfile, Workload, WorkloadClass};
+use std::fmt::Write;
+
+/// The character of one synthetic phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// A serial integer dependence chain: no distant ILP, a narrow
+    /// machine is optimal.
+    Serial,
+    /// Independent floating-point updates over a buffer: abundant
+    /// distant ILP, the wide machine is optimal.
+    Parallel,
+    /// Data-dependent branching on pseudo-random values: heavy
+    /// misprediction, narrow-machine territory.
+    Branchy,
+}
+
+/// One phase of a synthetic program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// What the phase does.
+    pub kind: PhaseKind,
+    /// Inner-loop iterations per pass of the phase (each iteration is
+    /// a handful of instructions; see the generated assembly).
+    pub iterations: u32,
+}
+
+impl PhaseSpec {
+    /// A phase of `kind` lasting roughly `instructions` dynamic
+    /// instructions per pass.
+    pub fn lasting(kind: PhaseKind, instructions: u32) -> PhaseSpec {
+        let per_iteration = match kind {
+            PhaseKind::Serial => 10,
+            PhaseKind::Parallel => 9,
+            PhaseKind::Branchy => 9,
+        };
+        PhaseSpec { kind, iterations: (instructions / per_iteration).max(1) }
+    }
+}
+
+/// Builds an endless workload cycling through `phases`.
+///
+/// # Panics
+///
+/// Panics if `phases` is empty or any phase has zero iterations.
+///
+/// # Examples
+///
+/// ```
+/// use clustered_workloads::synthetic::{phased, PhaseKind, PhaseSpec};
+///
+/// let w = phased(
+///     "two-phase",
+///     &[
+///         PhaseSpec::lasting(PhaseKind::Serial, 20_000),
+///         PhaseSpec::lasting(PhaseKind::Parallel, 20_000),
+///     ],
+/// );
+/// let mut m = w.machine();
+/// m.run_to_halt(50_000).unwrap();
+/// assert_eq!(m.instructions_executed(), 50_000); // endless
+/// ```
+pub fn phased(name: &str, phases: &[PhaseSpec]) -> Workload {
+    assert!(!phases.is_empty(), "need at least one phase");
+    assert!(phases.iter().all(|p| p.iterations > 0), "phases need iterations");
+    let mut source = String::from(
+        "# synthetic phased workload (generated)\n\
+         .data\n\
+         buf: .space 65536\n\
+         .text\n\
+         start:\n\
+         \x20   li r21, 88172645463325252\n\
+         \x20   fli f2, 0.125\n\
+         outer:\n",
+    );
+    for (i, phase) in phases.iter().enumerate() {
+        match phase.kind {
+            PhaseKind::Serial => {
+                // A multiply chain punctuated by a data-dependent
+                // branch: the mispredictions keep the instruction
+                // window shallow, so (as in real serial integer code)
+                // even the independent loop-counter chain never counts
+                // as distant ILP.
+                write!(
+                    source,
+                    "    li r1, {iters}\n\
+                     p{i}:\n\
+                     \x20   mul r2, r2, r21\n\
+                     \x20   li r22, 6364136223846793005\n\
+                     \x20   mul r21, r21, r22\n\
+                     \x20   addi r21, r21, 1442695040888963407\n\
+                     \x20   srli r4, r21, 41\n\
+                     \x20   andi r4, r4, 1\n\
+                     \x20   beqz r4, s{i}\n\
+                     \x20   addi r5, r5, 1\n\
+                     s{i}:\n\
+                     \x20   addi r1, r1, -1\n\
+                     \x20   bnez r1, p{i}\n",
+                    iters = phase.iterations,
+                )
+                .expect("writing to String cannot fail");
+            }
+            PhaseKind::Parallel => {
+                // Streaming read-modify-write, swim-style: iterations
+                // are independent (distant ILP) and the walk keeps
+                // moving, so cache behaviour stays uniform for the
+                // whole phase.
+                write!(
+                    source,
+                    "    la r3, buf\n\
+                     \x20   li r1, {iters}\n\
+                     p{i}:\n\
+                     \x20   fld f1, 0(r3)\n\
+                     \x20   fld f3, 8(r3)\n\
+                     \x20   fadd f1, f1, f2\n\
+                     \x20   fadd f3, f3, f2\n\
+                     \x20   fmul f4, f1, f3\n\
+                     \x20   fsd f4, 0(r3)\n\
+                     \x20   addi r3, r3, 16\n\
+                     \x20   addi r1, r1, -1\n\
+                     \x20   bnez r1, p{i}\n",
+                    iters = phase.iterations,
+                )
+                .expect("writing to String cannot fail");
+            }
+            PhaseKind::Branchy => {
+                // LCG-driven coin flips.
+                write!(
+                    source,
+                    "    li r1, {iters}\n\
+                     p{i}:\n\
+                     \x20   li r22, 6364136223846793005\n\
+                     \x20   mul r21, r21, r22\n\
+                     \x20   addi r21, r21, 1442695040888963407\n\
+                     \x20   srli r4, r21, 40\n\
+                     \x20   andi r4, r4, 1\n\
+                     \x20   beqz r4, s{i}\n\
+                     \x20   addi r5, r5, 1\n\
+                     s{i}:\n\
+                     \x20   addi r1, r1, -1\n\
+                     \x20   bnez r1, p{i}\n",
+                    iters = phase.iterations,
+                )
+                .expect("writing to String cannot fail");
+            }
+        }
+    }
+    source.push_str("    j outer\n");
+    Workload::from_source(
+        name,
+        "synthetic phased workload",
+        PaperProfile {
+            class: WorkloadClass::SpecInt,
+            base_ipc: 0.0,
+            mispredict_interval: 0,
+            min_stable_interval: 0,
+            instability_at_10k: 0.0,
+            distant_ilp: phases.iter().any(|p| p.kind == PhaseKind::Parallel),
+        },
+        &source,
+        Vec::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_phase_kinds_assemble_and_run() {
+        let w = phased(
+            "mix",
+            &[
+                PhaseSpec::lasting(PhaseKind::Serial, 5_000),
+                PhaseSpec::lasting(PhaseKind::Parallel, 5_000),
+                PhaseSpec::lasting(PhaseKind::Branchy, 5_000),
+            ],
+        );
+        assert_eq!(w.name(), "mix");
+        let mut m = w.machine();
+        let n = m.run_to_halt(60_000).unwrap();
+        assert_eq!(n, 60_000, "synthetic workloads never halt");
+    }
+
+    #[test]
+    fn lasting_translates_instructions_to_iterations() {
+        let p = PhaseSpec::lasting(PhaseKind::Serial, 400);
+        assert_eq!(p.iterations, 40);
+        let p = PhaseSpec::lasting(PhaseKind::Serial, 1);
+        assert_eq!(p.iterations, 1, "clamped to at least one iteration");
+    }
+
+    #[test]
+    fn branchy_phase_has_data_dependent_branches() {
+        let w = phased("b", &[PhaseSpec::lasting(PhaseKind::Branchy, 10_000)]);
+        let taken: Vec<bool> = w
+            .trace()
+            .take(20_000)
+            .filter_map(Result::ok)
+            .filter_map(|d| d.branch)
+            .filter(|b| b.taken || !b.taken)
+            .map(|b| b.taken)
+            .collect();
+        let taken_count = taken.iter().filter(|&&t| t).count();
+        let frac = taken_count as f64 / taken.len() as f64;
+        assert!((0.4..0.95).contains(&frac), "branch mix should be mixed: {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn rejects_empty_phases() {
+        let _ = phased("empty", &[]);
+    }
+}

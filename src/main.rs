@@ -1,0 +1,349 @@
+//! `clustered` — command-line front end to the simulator.
+//!
+//! ```text
+//! clustered run --workload gzip --policy explore --instructions 500000
+//! clustered run --program kernel.s --clusters 8 --decentralized
+//! clustered asm kernel.s            # assemble + disassemble/report
+//! clustered workloads               # list the built-in suite
+//! clustered phases --workload gzip  # Table-4 style instability report
+//! ```
+
+use clustered::policies::phase::{
+    instability_factor, MetricsRecorder, StabilityThresholds,
+};
+use clustered::policies::{FineGrain, IntervalDistantIlp, IntervalExplore, Recording};
+use clustered::sim::{
+    estimate_energy, CacheModel, EnergyParams, FixedPolicy, Processor, ReconfigPolicy,
+    SimConfig, Topology,
+};
+use clustered::{emu, isa, workloads};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("workloads") => cmd_workloads(),
+        Some("phases") => cmd_phases(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Adapter letting `Recording` wrap an already-boxed policy.
+struct BoxedPolicy(Box<dyn ReconfigPolicy>);
+
+impl ReconfigPolicy for BoxedPolicy {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn initial_clusters(&self) -> usize {
+        self.0.initial_clusters()
+    }
+    fn on_commit(&mut self, event: &clustered::sim::CommitEvent) -> Option<usize> {
+        self.0.on_commit(event)
+    }
+}
+
+const USAGE: &str = "\
+clustered — dynamically tunable clustered-processor simulator
+
+USAGE:
+  clustered run [--workload NAME | --program FILE.s]
+                [--policy fixed|explore|distant|branch|subroutine]
+                [--clusters N] [--instructions N] [--warmup N]
+                [--decentralized] [--grid] [--monolithic] [--energy]
+                [--csv FILE]      write a per-interval timeline CSV
+  clustered asm FILE.s          assemble a program and report on it
+  clustered workloads           list built-in workloads
+  clustered phases --workload NAME [--instructions N]
+                                interval-stability report (Table 4)
+  clustered help                this message
+
+Defaults: --workload gzip --policy explore --clusters 4 (fixed policy)
+          --instructions 500000 --warmup 50000
+";
+
+struct Flags {
+    values: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], known: &[&str]) -> Result<Flags, String> {
+        let mut values = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{arg}`"));
+            };
+            if !known.contains(&name) {
+                return Err(format!("unknown flag `--{name}`\n{USAGE}"));
+            }
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => Some(it.next().expect("peeked").clone()),
+                _ => None,
+            };
+            values.push((name.to_string(), value));
+        }
+        Ok(Flags { values })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.values.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+}
+
+fn load_workload(flags: &Flags) -> Result<workloads::Workload, String> {
+    if let Some(path) = flags.get("program") {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let paper = workloads::PaperProfile {
+            class: workloads::WorkloadClass::SpecInt,
+            base_ipc: 0.0,
+            mispredict_interval: 0,
+            min_stable_interval: 0,
+            instability_at_10k: 0.0,
+            distant_ilp: false,
+        };
+        // Validate explicitly so the user gets the line number rather
+        // than a panic.
+        isa::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
+        Ok(workloads::Workload::from_source(path, "user program", paper, &source, Vec::new()))
+    } else {
+        let name = flags.get("workload").unwrap_or("gzip");
+        workloads::by_name(name).ok_or_else(|| {
+            format!("unknown workload `{name}`; try `clustered workloads`")
+        })
+    }
+}
+
+fn build_config(flags: &Flags) -> Result<SimConfig, String> {
+    let mut cfg =
+        if flags.has("monolithic") { SimConfig::monolithic() } else { SimConfig::default() };
+    if flags.has("decentralized") {
+        cfg.cache.model = CacheModel::Decentralized;
+    }
+    if flags.has("grid") {
+        cfg.interconnect.topology = Topology::Grid;
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn build_policy(flags: &Flags, cfg: &SimConfig) -> Result<Box<dyn ReconfigPolicy>, String> {
+    let default_clusters = 4.min(cfg.clusters.count as u64);
+    let clusters = flags.get_u64("clusters", default_clusters)? as usize;
+    if clusters == 0 || clusters > cfg.clusters.count {
+        return Err(format!(
+            "--clusters must be in 1..={}, got {clusters}",
+            cfg.clusters.count
+        ));
+    }
+    let policy = flags.get("policy").unwrap_or(if flags.has("clusters") {
+        "fixed"
+    } else {
+        "explore"
+    });
+    if policy != "fixed" && flags.has("clusters") {
+        return Err(format!(
+            "--clusters only applies to --policy fixed; `{policy}` chooses its own"
+        ));
+    }
+    Ok(match policy {
+        "fixed" => Box::new(FixedPolicy::new(clusters)),
+        "explore" => Box::new(IntervalExplore::default()),
+        "distant" => Box::new(IntervalDistantIlp::default()),
+        "branch" => Box::new(FineGrain::branch_policy()),
+        "subroutine" => Box::new(FineGrain::subroutine_policy()),
+        other => return Err(format!("unknown policy `{other}`")),
+    })
+}
+
+const RUN_FLAGS: &[&str] = &[
+    "workload",
+    "program",
+    "policy",
+    "clusters",
+    "instructions",
+    "warmup",
+    "decentralized",
+    "grid",
+    "monolithic",
+    "energy",
+    "csv",
+];
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, RUN_FLAGS)?;
+    let workload = load_workload(&flags)?;
+    let cfg = build_config(&flags)?;
+    let policy = build_policy(&flags, &cfg)?;
+    let policy_name = policy.name();
+    let instructions = flags.get_u64("instructions", 500_000)?;
+    let warmup = flags.get_u64("warmup", 50_000)?;
+
+    let (policy, timeline): (Box<dyn ReconfigPolicy>, _) = match flags.get("csv") {
+        Some(_) => {
+            let (wrapped, out) = Recording::new(BoxedPolicy(policy), 1_000);
+            (Box::new(wrapped), Some(out))
+        }
+        None => (policy, None),
+    };
+    let stream = workload.trace().map(|r| r.expect("workload trace"));
+    let mut cpu = Processor::new(cfg, stream, policy).map_err(|e| e.to_string())?;
+    cpu.run(warmup).map_err(|e| e.to_string())?;
+    if cpu.finished() {
+        return Err(format!(
+            "program ended after {} instructions, inside the {warmup}-instruction \
+             warm-up; rerun with a smaller --warmup",
+            cpu.stats().committed
+        ));
+    }
+    let before = *cpu.stats();
+    cpu.run(instructions).map_err(|e| e.to_string())?;
+    let s = cpu.stats().delta_since(&before);
+
+    println!("workload            {}", workload.name());
+    println!("policy              {policy_name}");
+    println!("instructions        {}", s.committed);
+    println!("cycles              {}", s.cycles);
+    println!("IPC                 {:.3}", s.ipc());
+    println!("mean active clusters {:.1}", s.avg_active_clusters());
+    println!("reconfigurations    {}", s.reconfigurations);
+    println!("branch mispredicts  {} (1 per {:.0} instructions)", s.mispredicts, s.mispredict_interval());
+    println!("L1 hit rate         {:.1}%", 100.0 * s.l1_hit_rate());
+    println!(
+        "register transfers  {} ({:.2} hops avg)",
+        s.reg_transfers,
+        s.avg_transfer_hops()
+    );
+    println!(
+        "distant-ILP issues  {:.1}%",
+        100.0 * s.distant_issues as f64 / s.committed.max(1) as f64
+    );
+    if let (Some(path), Some(timeline)) = (flags.get("csv"), timeline.as_ref()) {
+        let mut csv = String::from("committed,cycles,ipc,branches,memrefs,clusters\n");
+        // Match the printed statistics: intervals entirely inside the
+        // warm-up are discarded.
+        for entry in timeline.borrow().iter().filter(|e| e.committed > warmup) {
+            csv.push_str(&format!(
+                "{},{},{:.4},{},{},{}\n",
+                entry.committed,
+                entry.record.cycles,
+                entry.record.ipc(),
+                entry.record.branches,
+                entry.record.memrefs,
+                entry.clusters
+            ));
+        }
+        std::fs::write(path, csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("timeline            {path} ({} intervals)", timeline.borrow().len());
+    }
+    if flags.has("energy") {
+        let e = estimate_energy(&s, &EnergyParams::default());
+        println!(
+            "energy              {:.0} (leakage {:.0} + dynamic {:.0}), {:.3}/instr",
+            e.total(),
+            e.active_leakage + e.idle_leakage,
+            e.dynamic,
+            e.per_instruction(&s)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let [path] = args else { return Err("usage: clustered asm FILE.s".into()) };
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let program = isa::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{}: {} instructions, {} data bytes, entry at {}",
+        path,
+        program.text().len(),
+        program.data().len(),
+        program.entry()
+    );
+    // Quick functional smoke test so users catch runaway programs.
+    let mut machine = emu::Machine::new(program.clone());
+    machine.run_to_halt(1_000_000).map_err(|e| format!("execution fault: {e}"))?;
+    if machine.is_halted() {
+        println!("halts after {} instructions", machine.instructions_executed());
+    } else {
+        println!("still running after 1M instructions (endless kernel?)");
+    }
+    print!("{program}");
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    println!("{:<8} {:<12} {:<7} description", "name", "suite", "IPC*");
+    for w in workloads::all() {
+        let p = w.paper();
+        println!(
+            "{:<8} {:<12} {:<7.2} {}",
+            w.name(),
+            p.class.suite_name(),
+            p.base_ipc,
+            w.description()
+        );
+    }
+    println!("\n* IPC as reported by the paper's Table 3 for the original benchmark.");
+    Ok(())
+}
+
+fn cmd_phases(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["workload", "program", "instructions", "warmup", "base-interval"])?;
+    let workload = load_workload(&flags)?;
+    let instructions = flags.get_u64("instructions", 500_000)?;
+    let warmup = flags.get_u64("warmup", 50_000)?;
+    let base = flags.get_u64("base-interval", 1_000)?;
+    let (recorder, records) = MetricsRecorder::new(16, base);
+    let stream = workload.trace().map(|r| r.expect("workload trace"));
+    let mut cpu = Processor::new(SimConfig::default(), stream, Box::new(recorder))
+        .map_err(|e| e.to_string())?;
+    cpu.run(warmup + instructions).map_err(|e| e.to_string())?;
+    let records = records.borrow();
+    // Discard the warm-up portion, as the Table 4 experiment does.
+    let skip = ((warmup / base) as usize).min(records.len());
+    let records = &records[skip..];
+    println!(
+        "workload {}: {} base intervals of {base} instructions ({skip} warm-up intervals discarded)",
+        workload.name(),
+        records.len()
+    );
+    let thresholds = StabilityThresholds::default();
+    let mut group = 1;
+    while records.len() / group >= 4 {
+        if let Some(f) = instability_factor(records, group, &thresholds) {
+            println!("interval {:>9}: {f:>5.1}% unstable", base * group as u64);
+        }
+        group *= 2;
+    }
+    Ok(())
+}

@@ -1,0 +1,195 @@
+//! End-to-end tests of the `clustered` command-line binary.
+
+use std::process::{Command, Output};
+
+fn clustered(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_clustered"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    for args in [&["help"][..], &["--help"], &[]] {
+        let out = clustered(args);
+        assert!(out.status.success());
+        assert!(stdout(&out).contains("USAGE"));
+    }
+}
+
+#[test]
+fn workloads_lists_the_suite() {
+    let out = clustered(&["workloads"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in clustered::workloads::NAMES {
+        assert!(text.contains(name), "missing workload {name}");
+    }
+}
+
+#[test]
+fn run_reports_statistics() {
+    let out = clustered(&[
+        "run",
+        "--workload",
+        "gzip",
+        "--policy",
+        "fixed",
+        "--clusters",
+        "4",
+        "--warmup",
+        "2000",
+        "--instructions",
+        "10000",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("IPC"));
+    assert!(text.contains("policy              fixed-4"));
+    assert!(text.contains("mean active clusters 4.0"));
+}
+
+#[test]
+fn run_is_deterministic() {
+    let args = ["run", "--workload", "vpr", "--warmup", "2000", "--instructions", "8000"];
+    let a = stdout(&clustered(&args));
+    let b = stdout(&clustered(&args));
+    assert_eq!(a, b, "same command must produce identical statistics");
+}
+
+#[test]
+fn asm_round_trips_a_program() {
+    let dir = std::env::temp_dir().join("clustered_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("ok.s");
+    std::fs::write(&path, "li r1, 2\nmul r2, r1, r1\nhalt\n").expect("write");
+    let out = clustered(&["asm", path.to_str().expect("utf-8 path")]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("3 instructions"));
+    assert!(text.contains("halts after 3 instructions"));
+    assert!(text.contains("mul r2, r1, r1"));
+}
+
+#[test]
+fn errors_use_exit_code_two_and_name_the_problem() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["run", "--workload", "nosuch"], "unknown workload"),
+        (&["run", "--workload", "gzip", "--clusters", "99"], "--clusters"),
+        (&["run", "--workload", "gzip", "--instructions", "abc"], "--instructions"),
+        (&["run", "--policy", "bogus"], "unknown policy"),
+        (&["asm", "/nonexistent/path.s"], "cannot read"),
+        (&["frobnicate"], "unknown command"),
+    ];
+    for (args, needle) in cases {
+        let out = clustered(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            stderr(&out).contains(needle),
+            "args {args:?}: stderr {:?} should mention {needle}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn monolithic_runs_without_explicit_clusters() {
+    let out = clustered(&[
+        "run",
+        "--monolithic",
+        "--workload",
+        "swim",
+        "--warmup",
+        "2000",
+        "--instructions",
+        "10000",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("mean active clusters 1.0"));
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let out = clustered(&["run", "--workload", "gzip", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag"));
+}
+
+#[test]
+fn csv_timeline_excludes_warmup_intervals() {
+    let dir = std::env::temp_dir().join("clustered_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("timeline.csv");
+    let out = clustered(&[
+        "run",
+        "--workload",
+        "gzip",
+        "--policy",
+        "fixed",
+        "--clusters",
+        "8",
+        "--warmup",
+        "5000",
+        "--instructions",
+        "10000",
+        "--csv",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let csv = std::fs::read_to_string(&path).expect("csv written");
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("committed,cycles,ipc,branches,memrefs,clusters")
+    );
+    let first: u64 = lines
+        .next()
+        .expect("at least one interval")
+        .split(',')
+        .next()
+        .expect("committed column")
+        .parse()
+        .expect("number");
+    assert!(first > 5_000, "warm-up intervals must be excluded, got {first}");
+    assert!(csv.trim_end().ends_with(",8"), "clusters column records the fixed policy");
+}
+
+#[test]
+fn bad_assembly_reports_the_line() {
+    let dir = std::env::temp_dir().join("clustered_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bad.s");
+    std::fs::write(&path, "nop\nfrob r1, r2\n").expect("write");
+    let out = clustered(&["asm", path.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("line 2"));
+}
+
+#[test]
+fn program_ending_in_warmup_is_a_clear_error() {
+    let dir = std::env::temp_dir().join("clustered_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("short.s");
+    std::fs::write(&path, "nop\nhalt\n").expect("write");
+    let out = clustered(&["run", "--program", path.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("warm-up"));
+}
+
+#[test]
+fn phases_reports_interval_stability() {
+    let out = clustered(&["phases", "--workload", "swim", "--instructions", "60000"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("base intervals"));
+    assert!(text.contains("unstable"));
+}
