@@ -1,219 +1,157 @@
-//! Criterion benches: one group per table/figure of the paper, each
+//! Performance benches: one group per table/figure of the paper, each
 //! exercising the same code path as the corresponding experiment
 //! binary at a reduced instruction count, plus substrate throughput
 //! benches (assembler, emulator, simulator).
 //!
 //! The experiment binaries in `src/bin/` regenerate the full
 //! tables/figures; these benches track the *performance* of the
-//! reproduction itself.
+//! reproduction itself. Implemented on `std::time::Instant` (the
+//! offline build environment cannot fetch criterion); invoke with
+//! `cargo bench` — each case reports min/median/mean wall time over a
+//! fixed number of samples.
 
+use clustered_bench::harness::Harness;
 use clustered_bench::{run_experiment, run_experiment_with_steering};
 use clustered_core::phase::MetricsRecorder;
 use clustered_core::{FineGrain, IntervalDistantIlp, IntervalExplore};
 use clustered_sim::{CacheModel, FixedPolicy, Processor, SimConfig, SteeringKind, Topology};
 use clustered_workloads::by_name;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 const INSTRUCTIONS: u64 = 20_000;
 const WARMUP: u64 = 2_000;
 
-fn bench_substrates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrates");
-    let gzip = by_name("gzip").expect("workload");
-    g.bench_function("assemble_gzip_kernel", |b| {
-        b.iter(|| black_box(by_name("gzip").unwrap()));
-    });
-    g.bench_function("emulate_20k", |b| {
-        b.iter(|| {
-            let mut m = gzip.machine();
-            m.run_to_halt(INSTRUCTIONS).unwrap();
-            black_box(m.instructions_executed())
-        });
-    });
-    g.finish();
-}
+fn main() {
+    let mut h = Harness::from_env("experiments");
 
-fn bench_fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_static");
     let gzip = by_name("gzip").expect("workload");
+    h.bench("substrates/assemble_gzip_kernel", || {
+        black_box(by_name("gzip").unwrap());
+    });
+    h.bench("substrates/emulate_20k", || {
+        let mut m = gzip.machine();
+        m.run_to_halt(INSTRUCTIONS).unwrap();
+        black_box(m.instructions_executed());
+    });
+
     for clusters in [4usize, 16] {
-        g.bench_function(format!("gzip_{clusters}_clusters"), |b| {
-            b.iter(|| {
-                black_box(run_experiment(
-                    &gzip,
-                    SimConfig::default(),
-                    Box::new(FixedPolicy::new(clusters)),
-                    WARMUP,
-                    INSTRUCTIONS,
-                ))
-            });
+        h.bench(&format!("fig3_static/gzip_{clusters}_clusters"), || {
+            black_box(run_experiment(
+                &gzip,
+                SimConfig::default(),
+                Box::new(FixedPolicy::new(clusters)),
+                WARMUP,
+                INSTRUCTIONS,
+            ));
         });
     }
-    g.bench_function("gzip_monolithic_table3", |b| {
-        b.iter(|| {
-            black_box(run_experiment(
-                &gzip,
-                SimConfig::monolithic(),
-                Box::new(FixedPolicy::new(1)),
-                WARMUP,
-                INSTRUCTIONS,
-            ))
-        });
+    h.bench("fig3_static/gzip_monolithic_table3", || {
+        black_box(run_experiment(
+            &gzip,
+            SimConfig::monolithic(),
+            Box::new(FixedPolicy::new(1)),
+            WARMUP,
+            INSTRUCTIONS,
+        ));
     });
-    g.finish();
-}
 
-fn bench_table4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_instability");
-    let gzip = by_name("gzip").expect("workload");
-    g.bench_function("metrics_recorder", |b| {
-        b.iter(|| {
-            let (recorder, records) = MetricsRecorder::new(16, 1_000);
-            let stream = gzip.trace().map(Result::unwrap);
-            let mut cpu =
-                Processor::new(SimConfig::default(), stream, Box::new(recorder)).unwrap();
-            cpu.run(INSTRUCTIONS).unwrap();
-            let n = records.borrow().len();
-            black_box(n)
-        });
+    h.bench("table4_instability/metrics_recorder", || {
+        let (recorder, records) = MetricsRecorder::new(16, 1_000);
+        let stream = gzip.trace().map(Result::unwrap);
+        let mut cpu = Processor::new(SimConfig::default(), stream, Box::new(recorder)).unwrap();
+        cpu.run(INSTRUCTIONS).unwrap();
+        black_box(records.borrow().len());
     });
-    g.finish();
-}
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_interval_schemes");
-    let gzip = by_name("gzip").expect("workload");
-    g.bench_function("interval_explore", |b| {
-        b.iter(|| {
-            black_box(run_experiment(
-                &gzip,
-                SimConfig::default(),
-                Box::new(IntervalExplore::default()),
-                WARMUP,
-                INSTRUCTIONS,
-            ))
-        });
+    h.bench("fig5_interval_schemes/interval_explore", || {
+        black_box(run_experiment(
+            &gzip,
+            SimConfig::default(),
+            Box::new(IntervalExplore::default()),
+            WARMUP,
+            INSTRUCTIONS,
+        ));
     });
-    g.bench_function("interval_distant_1k", |b| {
-        b.iter(|| {
-            black_box(run_experiment(
-                &gzip,
-                SimConfig::default(),
-                Box::new(IntervalDistantIlp::with_interval(1_000)),
-                WARMUP,
-                INSTRUCTIONS,
-            ))
-        });
+    h.bench("fig5_interval_schemes/interval_distant_1k", || {
+        black_box(run_experiment(
+            &gzip,
+            SimConfig::default(),
+            Box::new(IntervalDistantIlp::with_interval(1_000)),
+            WARMUP,
+            INSTRUCTIONS,
+        ));
     });
-    g.finish();
-}
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_finegrain");
     let crafty = by_name("crafty").expect("workload");
-    g.bench_function("branch_table", |b| {
-        b.iter(|| {
-            black_box(run_experiment(
-                &crafty,
-                SimConfig::default(),
-                Box::new(FineGrain::branch_policy()),
-                WARMUP,
-                INSTRUCTIONS,
-            ))
-        });
+    h.bench("fig6_finegrain/branch_table", || {
+        black_box(run_experiment(
+            &crafty,
+            SimConfig::default(),
+            Box::new(FineGrain::branch_policy()),
+            WARMUP,
+            INSTRUCTIONS,
+        ));
     });
-    g.bench_function("subroutine", |b| {
-        b.iter(|| {
-            black_box(run_experiment(
-                &crafty,
-                SimConfig::default(),
-                Box::new(FineGrain::subroutine_policy()),
-                WARMUP,
-                INSTRUCTIONS,
-            ))
-        });
+    h.bench("fig6_finegrain/subroutine", || {
+        black_box(run_experiment(
+            &crafty,
+            SimConfig::default(),
+            Box::new(FineGrain::subroutine_policy()),
+            WARMUP,
+            INSTRUCTIONS,
+        ));
     });
-    g.finish();
-}
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_decentralized");
     let swim = by_name("swim").expect("workload");
-    let mut cfg = SimConfig::default();
-    cfg.cache.model = CacheModel::Decentralized;
-    g.bench_function("decentralized_16", |b| {
-        b.iter(|| {
-            black_box(run_experiment(
-                &swim,
-                cfg,
-                Box::new(FixedPolicy::new(16)),
-                WARMUP,
-                INSTRUCTIONS,
-            ))
-        });
+    let mut decentralized = SimConfig::default();
+    decentralized.cache.model = CacheModel::Decentralized;
+    h.bench("fig7_decentralized/decentralized_16", || {
+        black_box(run_experiment(
+            &swim,
+            decentralized,
+            Box::new(FixedPolicy::new(16)),
+            WARMUP,
+            INSTRUCTIONS,
+        ));
     });
-    g.bench_function("decentralized_explore", |b| {
-        b.iter(|| {
-            black_box(run_experiment(
-                &swim,
-                cfg,
-                Box::new(IntervalExplore::default()),
-                WARMUP,
-                INSTRUCTIONS,
-            ))
-        });
+    h.bench("fig7_decentralized/decentralized_explore", || {
+        black_box(run_experiment(
+            &swim,
+            decentralized,
+            Box::new(IntervalExplore::default()),
+            WARMUP,
+            INSTRUCTIONS,
+        ));
     });
-    g.finish();
-}
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_grid");
-    let swim = by_name("swim").expect("workload");
-    let mut cfg = SimConfig::default();
-    cfg.interconnect.topology = Topology::Grid;
-    g.bench_function("grid_16", |b| {
-        b.iter(|| {
-            black_box(run_experiment(
-                &swim,
-                cfg,
-                Box::new(FixedPolicy::new(16)),
-                WARMUP,
-                INSTRUCTIONS,
-            ))
-        });
+    let mut grid = SimConfig::default();
+    grid.interconnect.topology = Topology::Grid;
+    h.bench("fig8_grid/grid_16", || {
+        black_box(run_experiment(
+            &swim,
+            grid,
+            Box::new(FixedPolicy::new(16)),
+            WARMUP,
+            INSTRUCTIONS,
+        ));
     });
-    g.finish();
-}
 
-fn bench_steering(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_steering");
-    let gzip = by_name("gzip").expect("workload");
     for (name, kind) in [
         ("producer", SteeringKind::default()),
         ("mod_n", SteeringKind::ModN(4)),
         ("first_fit", SteeringKind::FirstFit),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(run_experiment_with_steering(
-                    &gzip,
-                    SimConfig::default(),
-                    Box::new(FixedPolicy::new(16)),
-                    kind,
-                    WARMUP,
-                    INSTRUCTIONS,
-                ))
-            });
+        h.bench(&format!("ablation_steering/{name}"), || {
+            black_box(run_experiment_with_steering(
+                &gzip,
+                SimConfig::default(),
+                Box::new(FixedPolicy::new(16)),
+                kind,
+                WARMUP,
+                INSTRUCTIONS,
+            ));
         });
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_substrates, bench_fig3, bench_table4, bench_fig5, bench_fig6,
-              bench_fig7, bench_fig8, bench_steering
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,12 +1,18 @@
 //! Figure 3: IPC of fixed 2-, 4-, 8-, and 16-cluster organisations
 //! (centralized cache, ring interconnect), plus the monolithic
 //! baseline of Table 3 for reference.
+//!
+//! `--json` additionally writes the measurements to
+//! `results/fig3.json` (see EXPERIMENTS.md for the schema).
 
-use clustered_bench::{measure_instructions, run_experiment, warmup_instructions};
+use clustered_bench::{
+    measure_instructions, run_experiment, warmup_instructions, write_results_json,
+};
 use clustered_sim::{FixedPolicy, SimConfig};
-use clustered_stats::{geometric_mean, Table};
+use clustered_stats::{geometric_mean, Json, Table};
 
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let warmup = warmup_instructions();
     let measure = measure_instructions();
     let counts = [2usize, 4, 8, 16];
@@ -15,6 +21,7 @@ fn main() {
 
     let mut table = Table::new(&["benchmark", "mono", "2", "4", "8", "16", "best"]);
     let mut per_count: Vec<Vec<f64>> = vec![Vec::new(); counts.len()];
+    let mut workload_docs: Vec<Json> = Vec::new();
     for w in clustered_workloads::all() {
         let mono = run_experiment(
             &w,
@@ -26,6 +33,7 @@ fn main() {
         .ipc();
         let mut cells = vec![w.name().to_string(), format!("{mono:.2}")];
         let mut best = (0usize, 0.0f64);
+        let mut ipcs = Json::object();
         for (i, &n) in counts.iter().enumerate() {
             let ipc = run_experiment(
                 &w,
@@ -37,20 +45,51 @@ fn main() {
             .ipc();
             per_count[i].push(ipc);
             cells.push(format!("{ipc:.2}"));
+            ipcs = ipcs.set(&n.to_string(), ipc);
             if ipc > best.1 {
                 best = (n, ipc);
             }
         }
         cells.push(best.0.to_string());
         table.row(&cells);
+        workload_docs.push(
+            Json::object()
+                .set("name", w.name())
+                .set("monolithic_ipc", mono)
+                .set("ipc_by_clusters", ipcs)
+                .set("best_clusters", best.0),
+        );
     }
     let mut means = vec!["geomean".to_string(), String::new()];
-    for ipcs in &per_count {
-        means.push(format!("{:.2}", geometric_mean(ipcs).unwrap_or(0.0)));
+    let mut geomeans = Json::object();
+    for (ipcs, &n) in per_count.iter().zip(&counts) {
+        let g = geometric_mean(ipcs).unwrap_or(0.0);
+        means.push(format!("{g:.2}"));
+        geomeans = geomeans.set(&n.to_string(), g);
     }
     means.push(String::new());
     table.row(&means);
     println!("{table}");
     println!("Paper shape: distant-ILP codes (djpeg, galgel, mgrid, swim) peak at 16");
     println!("clusters; branch-limited integer codes peak at ~4.");
+
+    if json {
+        let doc = Json::object()
+            .set("figure", "fig3")
+            .set("measure_instructions", measure)
+            .set("warmup_instructions", warmup)
+            .set(
+                "cluster_counts",
+                Json::Arr(counts.iter().map(|&n| Json::from(n)).collect()),
+            )
+            .set("workloads", Json::Arr(workload_docs))
+            .set("geomean_by_clusters", geomeans);
+        match write_results_json("fig3", &doc) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write results/fig3.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -3,11 +3,16 @@
 //! These are configuration constants rather than measurements; the
 //! binary prints the values actually used by `SimConfig::default()` so
 //! they can be diffed against the paper.
+//!
+//! `--json` additionally writes the raw parameter values to
+//! `results/tables.json` (see EXPERIMENTS.md for the schema).
 
+use clustered_bench::write_results_json;
 use clustered_sim::{CacheParams, SimConfig};
-use clustered_stats::Table;
+use clustered_stats::{Json, Table};
 
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let cfg = SimConfig::default();
     println!("Table 1: Simplescalar-style simulator parameters\n");
     let mut t1 = Table::new(&["parameter", "value"]);
@@ -103,4 +108,67 @@ fn main() {
         t2.row(&[a, b, c]);
     }
     println!("{t2}");
+
+    if json {
+        let doc = Json::object()
+            .set("figure", "tables")
+            .set(
+                "table1",
+                Json::object()
+                    .set("fetch_queue", f.fetch_queue)
+                    .set("bimodal_size", b.bimodal_size)
+                    .set("l1_predictor_entries", b.l1_size)
+                    .set("history_bits", b.history_bits)
+                    .set("l2_predictor_entries", b.l2_size)
+                    .set("btb_sets", b.btb_sets)
+                    .set("btb_ways", b.btb_ways)
+                    .set("mispredict_penalty", f.mispredict_penalty)
+                    .set("fetch_width", f.fetch_width)
+                    .set("max_basic_blocks", f.max_basic_blocks)
+                    .set("dispatch_width", f.dispatch_width)
+                    .set("commit_width", f.commit_width)
+                    .set("iq_per_cluster", c.int_iq)
+                    .set("regs_per_cluster", c.int_regs)
+                    .set("rob_size", f.rob_size)
+                    .set("int_alu_per_cluster", c.int_alu)
+                    .set("int_muldiv_per_cluster", c.int_muldiv)
+                    .set("fp_alu_per_cluster", c.fp_alu)
+                    .set("fp_muldiv_per_cluster", c.fp_muldiv)
+                    .set("clusters", c.count)
+                    .set("l2_size_bytes", cfg.cache.l2_size)
+                    .set("l2_assoc", cfg.cache.l2_assoc)
+                    .set("l2_latency", cfg.cache.l2_latency)
+                    .set("mem_latency", cfg.cache.mem_latency),
+            )
+            .set(
+                "table2",
+                Json::object()
+                    .set(
+                        "centralized",
+                        Json::object()
+                            .set("l1_size_bytes", cache.l1_size)
+                            .set("assoc", cache.l1_assoc)
+                            .set("line_bytes", cache.l1_line)
+                            .set("banks", cache.l1_banks)
+                            .set("latency", cache.l1_latency)
+                            .set("lsq_slots", cache.lsq_per_cluster * n),
+                    )
+                    .set(
+                        "decentralized_per_cluster",
+                        Json::object()
+                            .set("bank_size_bytes", cache.l1_bank_size)
+                            .set("assoc", cache.l1_assoc)
+                            .set("line_bytes", cache.l1_bank_line)
+                            .set("latency", cache.l1_bank_latency)
+                            .set("lsq_slots", cache.lsq_per_cluster),
+                    ),
+            );
+        match write_results_json("tables", &doc) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write results/tables.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,0 +1,151 @@
+//! A small `std::time::Instant` bench harness (the offline build
+//! environment cannot fetch criterion).
+//!
+//! Each case runs a fixed number of timed samples after one warm-up
+//! iteration and reports min / median / mean wall time. Set
+//! `CLUSTERED_BENCH_SAMPLES` to trade time for stability, and
+//! `CLUSTERED_BENCH_JSON=path.json` to also write the results as a
+//! machine-readable document for trend tracking across PRs.
+
+use clustered_stats::Json;
+use std::time::{Duration, Instant};
+
+/// Collects timing results for a suite of named closures.
+#[derive(Debug)]
+pub struct Harness {
+    name: String,
+    samples: usize,
+    results: Vec<CaseResult>,
+}
+
+/// Timing summary of one bench case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// Case label, `group/name` by convention.
+    pub name: String,
+    /// Timed samples, ascending.
+    pub sorted: Vec<Duration>,
+}
+
+impl CaseResult {
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.sorted[0]
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        self.sorted[self.sorted.len() / 2]
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> Duration {
+        self.sorted.iter().sum::<Duration>() / self.sorted.len() as u32
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+impl Harness {
+    /// A harness named `name`, reading sample count and JSON output
+    /// path from the environment.
+    pub fn from_env(name: &str) -> Harness {
+        let samples = std::env::var("CLUSTERED_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(10);
+        println!("bench suite `{name}`: {samples} samples per case\n");
+        println!("{:<44} {:>12} {:>12} {:>12}", "case", "min", "median", "mean");
+        Harness { name: name.to_string(), samples, results: Vec::new() }
+    }
+
+    /// Times `f` and prints its row immediately.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        f(); // warm-up: first-touch costs are not what we track
+        let mut sorted = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            f();
+            sorted.push(t.elapsed());
+        }
+        sorted.sort();
+        let r = CaseResult { name: name.to_string(), sorted };
+        println!(
+            "{:<44} {:>12} {:>12} {:>12}",
+            r.name,
+            fmt_duration(r.min()),
+            fmt_duration(r.median()),
+            fmt_duration(r.mean())
+        );
+        self.results.push(r);
+    }
+
+    /// Completed results so far.
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+
+    /// The whole suite as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let cases: Vec<Json> = self
+            .results
+            .iter()
+            .map(|r| {
+                Json::object()
+                    .set("name", r.name.as_str())
+                    .set("min_ns", r.min().as_nanos() as u64)
+                    .set("median_ns", r.median().as_nanos() as u64)
+                    .set("mean_ns", r.mean().as_nanos() as u64)
+                    .set("samples", r.sorted.len())
+            })
+            .collect();
+        Json::object().set("suite", self.name.as_str()).set("cases", Json::Arr(cases))
+    }
+
+    /// Writes the JSON document if `CLUSTERED_BENCH_JSON` is set; call
+    /// last.
+    pub fn finish(&self) {
+        if let Ok(path) = std::env::var("CLUSTERED_BENCH_JSON") {
+            match std::fs::write(&path, self.to_json().to_string_pretty()) {
+                Ok(()) => println!("\nwrote {path}"),
+                Err(e) => eprintln!("\ncannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Harness { name: "t".into(), samples: 3, results: Vec::new() };
+        let mut n = 0u64;
+        h.bench("case", || n = n.wrapping_add(1));
+        assert_eq!(n, 4, "warm-up plus three samples");
+        let r = &h.results()[0];
+        assert_eq!(r.sorted.len(), 3);
+        assert!(r.min() <= r.median() && r.median() <= *r.sorted.last().unwrap());
+        let j = h.to_json();
+        assert_eq!(j.get("suite").and_then(Json::as_str), Some("t"));
+        assert_eq!(j.get("cases").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.000 µs");
+    }
+}

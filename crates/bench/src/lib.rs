@@ -9,8 +9,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use clustered_sim::{Processor, ReconfigPolicy, SimConfig, SimStats, SteeringKind};
+use clustered_stats::Json;
 use clustered_workloads::Workload;
+use std::path::PathBuf;
 
 /// Default measured instructions per run.
 pub const DEFAULT_MEASURE: u64 = 400_000;
@@ -29,6 +33,23 @@ pub fn measure_instructions() -> u64 {
 /// Warm-up instructions per run (`CLUSTERED_WARMUP` overrides).
 pub fn warmup_instructions() -> u64 {
     env_u64("CLUSTERED_WARMUP", DEFAULT_WARMUP)
+}
+
+/// Writes `doc` to `results/<name>.json` (creating the directory),
+/// pretty-printed, and returns the path. Every experiment binary's
+/// `--json` mode funnels through here so the output location is
+/// uniform across figures.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing
+/// the file.
+pub fn write_results_json(name: &str, doc: &Json) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, doc.to_string_pretty())?;
+    Ok(path)
 }
 
 /// Runs `workload` under `cfg` and `policy`, discarding a warm-up and

@@ -1,0 +1,201 @@
+//! Machine-readable exporters: per-interval JSONL timelines and
+//! Chrome-trace (Perfetto-loadable) files.
+//!
+//! Two complementary views of a run:
+//!
+//! * [`timeline_jsonl`] renders the [`Recording`](crate::Recording)
+//!   wrapper's per-interval [`TimelineEntry`] buffer as JSON Lines —
+//!   one self-contained object per interval, the natural input for
+//!   plotting IPC against the policy's cluster decisions.
+//! * [`chrome_trace`] renders a
+//!   [`MetricsObserver`](clustered_sim::MetricsObserver)'s event log in
+//!   the Chrome trace-event format: every active-cluster configuration
+//!   is a duration (`"ph": "X"`) event, every reconfiguration an
+//!   instant (`"ph": "i"`) event, and every decentralized flush stall a
+//!   duration event on its own track. Load the file in
+//!   `chrome://tracing` or <https://ui.perfetto.dev> to see the
+//!   communication-parallelism trade-off play out over time.
+//!
+//! Trace timestamps are **simulated cycles** presented as the format's
+//! microseconds: one trace "µs" is one cycle.
+
+use crate::recording::TimelineEntry;
+use clustered_sim::MetricsObserver;
+use clustered_stats::Json;
+
+/// Renders a recorded timeline as JSON Lines: one object per interval
+/// with `committed`, `instructions`, `cycles`, `ipc`, `branches`,
+/// `memrefs`, and `clusters` keys. Returns the empty string for an
+/// empty timeline.
+pub fn timeline_jsonl(timeline: &[TimelineEntry]) -> String {
+    let mut out = String::new();
+    for e in timeline {
+        let line = Json::object()
+            .set("committed", e.committed)
+            .set("instructions", e.record.instructions)
+            .set("cycles", e.record.cycles)
+            .set("ipc", e.record.ipc())
+            .set("branches", e.record.branches)
+            .set("memrefs", e.record.memrefs)
+            .set("clusters", e.clusters);
+        out.push_str(&line.to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+fn duration_event(name: String, ts: u64, dur: u64, tid: u64, args: Json) -> Json {
+    Json::object()
+        .set("name", name)
+        .set("ph", "X")
+        .set("ts", ts)
+        .set("dur", dur)
+        .set("pid", 0u64)
+        .set("tid", tid)
+        .set("args", args)
+}
+
+/// The observer's event log as a Chrome trace-event array.
+///
+/// Track 0 carries one duration event per active-cluster configuration
+/// span and one instant event per reconfiguration; track 1 carries the
+/// decentralized model's flush stalls. The result serializes to a JSON
+/// array loadable by `chrome://tracing` and Perfetto.
+pub fn chrome_trace(m: &MetricsObserver) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    // Configuration spans: from the run's start through each
+    // reconfiguration to the final observed cycle.
+    let mut span_start = 0u64;
+    let mut clusters = m.initial_clusters;
+    for r in &m.reconfigs {
+        events.push(duration_event(
+            format!("{clusters} clusters"),
+            span_start,
+            r.cycle - span_start,
+            0,
+            Json::object().set("clusters", clusters),
+        ));
+        events.push(
+            Json::object()
+                .set("name", format!("reconfigure {} -> {}", r.from, r.to))
+                .set("ph", "i")
+                .set("ts", r.cycle)
+                .set("pid", 0u64)
+                .set("tid", 0u64)
+                .set("s", "t")
+                .set("args", Json::object().set("from", r.from).set("to", r.to)),
+        );
+        span_start = r.cycle;
+        clusters = r.to;
+    }
+    if m.last_cycle > span_start || events.is_empty() {
+        events.push(duration_event(
+            format!("{clusters} clusters"),
+            span_start,
+            m.last_cycle.saturating_sub(span_start),
+            0,
+            Json::object().set("clusters", clusters),
+        ));
+    }
+    for f in &m.flushes {
+        events.push(duration_event(
+            "reconfiguration flush".to_string(),
+            f.cycle,
+            f.stall_cycles,
+            1,
+            Json::object().set("stall_cycles", f.stall_cycles).set("writebacks", f.writebacks),
+        ));
+    }
+    Json::Arr(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::IntervalRecord;
+    use clustered_sim::SimObserver;
+    use clustered_stats::json;
+
+    #[test]
+    fn jsonl_renders_one_parseable_line_per_interval() {
+        let timeline = vec![
+            TimelineEntry {
+                committed: 1_000,
+                record: IntervalRecord {
+                    instructions: 1_000,
+                    cycles: 500,
+                    branches: 100,
+                    memrefs: 300,
+                },
+                clusters: 16,
+            },
+            TimelineEntry {
+                committed: 2_000,
+                record: IntervalRecord {
+                    instructions: 1_000,
+                    cycles: 250,
+                    branches: 90,
+                    memrefs: 310,
+                },
+                clusters: 4,
+            },
+        ];
+        let text = timeline_jsonl(&timeline);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(lines[0]).expect("valid JSON line");
+        assert_eq!(first.get("committed").and_then(Json::as_f64), Some(1_000.0));
+        assert_eq!(first.get("ipc").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(first.get("clusters").and_then(Json::as_f64), Some(16.0));
+        let second = json::parse(lines[1]).expect("valid JSON line");
+        assert_eq!(second.get("ipc").and_then(Json::as_f64), Some(4.0));
+        assert!(timeline_jsonl(&[]).is_empty());
+    }
+
+    /// Drives a [`MetricsObserver`] by hand: 16 clusters to cycle 100,
+    /// then 4 clusters (with a flush) to cycle 250.
+    fn observed_run() -> MetricsObserver {
+        let mut m = MetricsObserver::new(50);
+        m.on_cycle(1, 16, 0);
+        m.on_flush_stall(100, 12, 30);
+        m.on_reconfig(100, 16, 4);
+        m.on_cycle(250, 4, 0);
+        m
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_instants_and_flushes() {
+        let trace = chrome_trace(&observed_run());
+        let events = trace.as_arr().expect("trace is an array");
+        // 2 configuration spans + 1 instant + 1 flush.
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert!(e.get("ph").is_some() && e.get("ts").is_some() && e.get("name").is_some());
+        }
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("16 clusters"));
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[0].get("dur").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(events[1].get("name").and_then(Json::as_str), Some("reconfigure 16 -> 4"));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(events[2].get("name").and_then(Json::as_str), Some("4 clusters"));
+        assert_eq!(events[2].get("ts").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(events[2].get("dur").and_then(Json::as_f64), Some(150.0));
+        assert_eq!(events[3].get("name").and_then(Json::as_str), Some("reconfiguration flush"));
+        assert_eq!(events[3].get("tid").and_then(Json::as_f64), Some(1.0));
+        // The whole document must survive a serialize → parse trip.
+        let reparsed = json::parse(&trace.to_string_pretty()).expect("valid trace JSON");
+        assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn chrome_trace_of_steady_run_is_one_span() {
+        let mut m = MetricsObserver::new(50);
+        m.on_cycle(1, 8, 0);
+        m.on_cycle(400, 8, 0);
+        let trace = chrome_trace(&m);
+        let events = trace.as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("8 clusters"));
+        assert_eq!(events[0].get("dur").and_then(Json::as_f64), Some(400.0));
+    }
+}

@@ -48,11 +48,13 @@
 
 mod distant;
 mod explore;
+pub mod export;
 mod finegrain;
 pub mod phase;
 mod recording;
 
 pub use distant::{IntervalDistantIlp, IntervalDistantIlpConfig};
 pub use explore::{IntervalExplore, IntervalExploreConfig};
+pub use export::{chrome_trace, timeline_jsonl};
 pub use finegrain::{FineGrain, FineGrainConfig, Trigger};
 pub use recording::{Recording, TimelineEntry};

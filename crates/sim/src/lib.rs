@@ -56,6 +56,7 @@ mod crit;
 mod energy;
 mod interconnect;
 mod lsq;
+mod observe;
 mod pipeline;
 mod reconfig;
 mod slots;
@@ -75,6 +76,10 @@ pub use config::{
 };
 pub use interconnect::Interconnect;
 pub use lsq::LsqSlice;
+pub use observe::{
+    FlushEvent, IpcSample, MetricsObserver, NullObserver, ReconfigEvent, SimObserver,
+    TransferKind,
+};
 pub use pipeline::{OccupancySnapshot, Processor, SimError};
 pub use reconfig::{CommitEvent, FixedPolicy, ReconfigPolicy, DISTANT_DEPTH};
 pub use slots::SlotReservations;

@@ -16,6 +16,7 @@ use crate::config::{CacheModel, ConfigError, SimConfig, MAX_CLUSTERS};
 use crate::crit::CriticalityPredictor;
 use crate::interconnect::Interconnect;
 use crate::lsq::LsqSlice;
+use crate::observe::{NullObserver, SimObserver, TransferKind};
 use crate::reconfig::{CommitEvent, ReconfigPolicy, DISTANT_DEPTH};
 use crate::stats::SimStats;
 use crate::steer::{Steering, SteerRequest, SteeringKind};
@@ -133,9 +134,11 @@ struct RobEntry {
 
 /// The simulated processor.
 ///
-/// Generic over the dynamic-instruction source; see the crate-level
-/// documentation for a complete example.
-pub struct Processor<T> {
+/// Generic over the dynamic-instruction source and over an observer
+/// receiving per-event callbacks; see the crate-level documentation
+/// for a complete example. The default [`NullObserver`] costs nothing
+/// — its empty hooks monomorphize away.
+pub struct Processor<T, O = NullObserver> {
     cfg: SimConfig,
     trace: T,
     policy: Box<dyn ReconfigPolicy>,
@@ -168,6 +171,7 @@ pub struct Processor<T> {
     pending_reconfig: Option<usize>,
     reconfig_request: Option<usize>,
     stats: SimStats,
+    observer: O,
 }
 
 /// Occupancy of the machine's structures at one instant (see
@@ -223,6 +227,24 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
         policy: Box<dyn ReconfigPolicy>,
         steering: SteeringKind,
     ) -> Result<Processor<T>, SimError> {
+        Processor::with_observer(cfg, trace, policy, steering, NullObserver)
+    }
+}
+
+impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+    /// Builds a processor whose pipeline events are reported to
+    /// `observer` (see [`SimObserver`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if `cfg` fails validation.
+    pub fn with_observer(
+        cfg: SimConfig,
+        trace: T,
+        policy: Box<dyn ReconfigPolicy>,
+        steering: SteeringKind,
+        observer: O,
+    ) -> Result<Processor<T, O>, SimError> {
         cfg.validate()?;
         let count = cfg.clusters.count;
         // Architectural registers are homed round-robin across the
@@ -275,6 +297,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
             pending_reconfig: None,
             reconfig_request: None,
             stats: SimStats::default(),
+            observer,
             cfg,
             trace,
             policy,
@@ -285,6 +308,17 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
     /// [`SimStats::delta_since`] to measure an interval).
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The attached observer, mutably (e.g. to drain collected data
+    /// between measurement windows).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// The current cycle.
@@ -354,6 +388,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
         self.stats.rob_occupancy_sum += self.rob.len() as u64;
         self.stats.active_cluster_cycles += self.active as u64;
         self.stats.cycles_at_config[self.active - 1] += 1;
+        self.observer.on_cycle(self.now, self.active, self.rob.len());
     }
 
     // ------------------------------------------------------ events
@@ -387,8 +422,10 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
         if from == to {
             earliest
         } else {
+            let hops = self.net.distance(from, to);
             self.stats.cache_transfers += 1;
-            self.stats.cache_transfer_hops += self.net.distance(from, to);
+            self.stats.cache_transfer_hops += hops;
+            self.observer.on_transfer(self.now, TransferKind::Cache, from, to, hops);
             self.net.transfer(from, to, earliest)
         }
     }
@@ -460,8 +497,10 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
             done
         } else {
             let a = self.net.transfer(from, to, done.max(self.now));
+            let hops = self.net.distance(from, to);
             self.stats.reg_transfers += 1;
-            self.stats.reg_transfer_hops += self.net.distance(from, to);
+            self.stats.reg_transfer_hops += hops;
+            self.observer.on_transfer(self.now, TransferKind::Register, from, to, hops);
             a
         };
         self.rob[idx].copies[to] = arrival;
@@ -585,15 +624,19 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
                 self.stats.lsq_forwards += 1;
                 avail.max(self.now) + 1
             }
-            None => self.mem.access(
-                &mut self.net,
-                bank,
-                bank_cluster,
-                mem_access.addr,
-                false,
-                self.now,
-                &mut self.stats,
-            ),
+            None => {
+                let ready = self.mem.access(
+                    &mut self.net,
+                    bank,
+                    bank_cluster,
+                    mem_access.addr,
+                    false,
+                    self.now,
+                    &mut self.stats,
+                );
+                self.observer.on_cache_access(self.now, bank, false, ready);
+                ready
+            }
         };
         // Data returns to the consuming cluster: from cluster 0 for the
         // centralized cache, from the bank's cluster otherwise.
@@ -654,7 +697,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
         match e.class {
             OpClass::Store => {
                 let mem_access = e.d.mem.expect("store without address");
-                self.mem.access(
+                let ready = self.mem.access(
                     &mut self.net,
                     e.bank,
                     e.bank_cluster,
@@ -663,6 +706,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
                     self.now,
                     &mut self.stats,
                 );
+                self.observer.on_cache_access(self.now, e.bank, true, ready);
                 self.lsq[e.alloc_slice].release();
                 let forward_slice = self.forward_slice(e.bank);
                 self.lsq[forward_slice].remove_store_data(mem_access.addr >> 3, e.d.seq);
@@ -718,6 +762,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
             distant: e.distant,
             mispredicted: e.mispredicted,
         };
+        self.observer.on_commit(&event);
         if let Some(request) = self.policy.on_commit(&event) {
             self.reconfig_request = Some(request);
         }
@@ -733,6 +778,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
         match self.cfg.cache.model {
             CacheModel::Centralized => {
                 if request != self.active {
+                    self.observer.on_reconfig(self.now, self.active, request);
                     self.active = request;
                     self.stats.reconfigurations += 1;
                 }
@@ -757,6 +803,8 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
         self.stats.flush_writebacks += writebacks;
         self.stats.flush_stall_cycles += stall;
         self.dispatch_stall_until = self.now + stall;
+        self.observer.on_flush_stall(self.now, stall, writebacks);
+        self.observer.on_reconfig(self.now, self.active, target);
         self.active = target;
         self.stats.reconfigurations += 1;
         self.pending_reconfig = None;
@@ -777,6 +825,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
                 let busy_until = if pipelined { self.now + 1 } else { self.now + lat };
                 self.clusters[c].occupy(group, unit, busy_until);
                 self.clusters[c].iq_used[Domain::of(class).index()] -= 1;
+                self.observer.on_issue(self.now, seq, c);
                 self.rob[idx].distant =
                     head_seq.is_some_and(|h| seq - h >= DISTANT_DEPTH);
                 // Train the criticality predictor with the operand that
@@ -930,6 +979,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
         // All structural checks passed: consume the fetch-queue entry.
         self.fetch_queue.pop_front();
         self.stats.dispatched += 1;
+        self.observer.on_dispatch(self.now, d.seq, cluster);
         if decentralized && is_memref {
             // Train the bank predictor in program order and account
             // accuracy, now that this memref definitely dispatches.
@@ -1072,8 +1122,10 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
         let home = self.arch_home[r];
         let base = self.arch_avail[r][home];
         let arrival = self.net.transfer(home, to, base.max(self.now));
+        let hops = self.net.distance(home, to);
         self.stats.reg_transfers += 1;
-        self.stats.reg_transfer_hops += self.net.distance(home, to);
+        self.stats.reg_transfer_hops += hops;
+        self.observer.on_transfer(self.now, TransferKind::Register, home, to, hops);
         self.arch_avail[r][to] = arrival;
         arrival
     }
@@ -1117,7 +1169,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
     }
 }
 
-impl<T> fmt::Debug for Processor<T> {
+impl<T, O> fmt::Debug for Processor<T, O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Processor")
             .field("cycle", &self.now)

@@ -1,6 +1,7 @@
 //! Event counters accumulated during simulation.
 
 use crate::config::MAX_CLUSTERS;
+use clustered_stats::Json;
 
 /// Counters maintained by the simulator, mirroring the hardware event
 /// counters the paper's software reconfiguration algorithm reads.
@@ -104,6 +105,26 @@ impl SimStats {
         }
     }
 
+    /// Fraction of committed control transfers that were mispredicted
+    /// (0.0 when no branches committed).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Fraction of L2 accesses (= L1 misses) that went to memory
+    /// (0.0 when the L2 was never accessed).
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l1_misses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l1_misses as f64
+        }
+    }
+
     /// Mean active clusters over the run.
     pub fn avg_active_clusters(&self) -> f64 {
         if self.cycles == 0 {
@@ -173,6 +194,89 @@ impl SimStats {
         d.rob_occupancy_sum -= earlier.rob_occupancy_sum;
         d
     }
+
+    /// Every counter plus the derived rates as one JSON document.
+    ///
+    /// The destructuring below is exhaustive on purpose: adding a field
+    /// to [`SimStats`] without deciding how to export it is a compile
+    /// error, so the machine-readable output can never silently fall
+    /// behind the struct.
+    pub fn to_json(&self) -> Json {
+        let SimStats {
+            cycles,
+            committed,
+            dispatched,
+            cond_branches,
+            branches,
+            mispredicts,
+            memrefs,
+            loads,
+            stores,
+            l1_hits,
+            l1_misses,
+            l2_misses,
+            lsq_forwards,
+            reg_transfers,
+            reg_transfer_hops,
+            cache_transfers,
+            cache_transfer_hops,
+            distant_issues,
+            bank_predictions,
+            bank_mispredictions,
+            reconfigurations,
+            flush_writebacks,
+            flush_stall_cycles,
+            active_cluster_cycles,
+            cycles_at_config,
+            dispatch_stall_fetch,
+            dispatch_stall_rob,
+            dispatch_stall_resources,
+            rob_occupancy_sum,
+        } = *self;
+        let config_cycles: Vec<Json> = cycles_at_config.iter().map(|&c| Json::from(c)).collect();
+        Json::object()
+            .set("cycles", cycles)
+            .set("committed", committed)
+            .set("dispatched", dispatched)
+            .set("ipc", self.ipc())
+            .set("cond_branches", cond_branches)
+            .set("branches", branches)
+            .set("mispredicts", mispredicts)
+            .set("mispredict_rate", self.mispredict_rate())
+            .set("mispredict_interval", self.mispredict_interval())
+            .set("memrefs", memrefs)
+            .set("loads", loads)
+            .set("stores", stores)
+            .set("l1_hits", l1_hits)
+            .set("l1_misses", l1_misses)
+            .set("l1_hit_rate", self.l1_hit_rate())
+            .set("l2_misses", l2_misses)
+            .set("l2_miss_rate", self.l2_miss_rate())
+            .set("lsq_forwards", lsq_forwards)
+            .set("reg_transfers", reg_transfers)
+            .set("reg_transfer_hops", reg_transfer_hops)
+            .set("avg_transfer_hops", self.avg_transfer_hops())
+            .set("cache_transfers", cache_transfers)
+            .set("cache_transfer_hops", cache_transfer_hops)
+            .set("distant_issues", distant_issues)
+            .set("bank_predictions", bank_predictions)
+            .set("bank_mispredictions", bank_mispredictions)
+            .set("bank_accuracy", self.bank_accuracy())
+            .set("reconfigurations", reconfigurations)
+            .set("flush_writebacks", flush_writebacks)
+            .set("flush_stall_cycles", flush_stall_cycles)
+            .set("active_cluster_cycles", active_cluster_cycles)
+            .set("avg_active_clusters", self.avg_active_clusters())
+            .set("cycles_at_config", Json::Arr(config_cycles))
+            .set(
+                "dispatch_stalls",
+                Json::object()
+                    .set("fetch", dispatch_stall_fetch)
+                    .set("rob", dispatch_stall_rob)
+                    .set("resources", dispatch_stall_resources),
+            )
+            .set("rob_occupancy_sum", rob_occupancy_sum)
+    }
 }
 
 #[cfg(test)]
@@ -194,14 +298,56 @@ mod tests {
         assert!(none.mispredict_interval().is_infinite());
     }
 
+    /// A snapshot in which every field holds a distinct non-zero value
+    /// scaled by `m`. Exhaustive on purpose — adding a counter to
+    /// [`SimStats`] without extending this literal is a compile error,
+    /// so [`delta_since_subtracts_every_field`] cannot silently skip a
+    /// forgotten field.
+    fn filled(m: u64) -> SimStats {
+        let mut cycles_at_config = [0u64; MAX_CLUSTERS];
+        for (i, c) in cycles_at_config.iter_mut().enumerate() {
+            *c = (100 + i as u64) * m;
+        }
+        SimStats {
+            cycles: m,
+            committed: 2 * m,
+            dispatched: 3 * m,
+            cond_branches: 4 * m,
+            branches: 5 * m,
+            mispredicts: 6 * m,
+            memrefs: 7 * m,
+            loads: 8 * m,
+            stores: 9 * m,
+            l1_hits: 10 * m,
+            l1_misses: 11 * m,
+            l2_misses: 12 * m,
+            lsq_forwards: 13 * m,
+            reg_transfers: 14 * m,
+            reg_transfer_hops: 15 * m,
+            cache_transfers: 16 * m,
+            cache_transfer_hops: 17 * m,
+            distant_issues: 18 * m,
+            bank_predictions: 19 * m,
+            bank_mispredictions: 20 * m,
+            reconfigurations: 21 * m,
+            flush_writebacks: 22 * m,
+            flush_stall_cycles: 23 * m,
+            active_cluster_cycles: 24 * m,
+            cycles_at_config,
+            dispatch_stall_fetch: 25 * m,
+            dispatch_stall_rob: 26 * m,
+            dispatch_stall_resources: 27 * m,
+            rob_occupancy_sum: 28 * m,
+        }
+    }
+
     #[test]
-    fn delta_since_subtracts_all_fields() {
-        let a = SimStats { cycles: 10, committed: 20, l1_hits: 5, ..SimStats::default() };
-        let b = SimStats { cycles: 25, committed: 70, l1_hits: 11, ..SimStats::default() };
-        let d = b.delta_since(&a);
-        assert_eq!(d.cycles, 15);
-        assert_eq!(d.committed, 50);
-        assert_eq!(d.l1_hits, 6);
+    fn delta_since_subtracts_every_field() {
+        // later = 3 × earlier, so the delta must equal 2 × earlier in
+        // *every* field; a counter missed by `delta_since` would keep
+        // its 3× value and fail the whole-struct comparison.
+        let d = filled(3).delta_since(&filled(1));
+        assert_eq!(d, filled(2));
     }
 
     #[test]
@@ -221,5 +367,45 @@ mod tests {
         assert_eq!(s.avg_transfer_hops(), 2.5);
         assert_eq!(s.bank_accuracy(), 0.85);
         assert_eq!(s.avg_active_clusters(), 8.0);
+    }
+
+    #[test]
+    fn mispredict_rate_handles_zero_branches() {
+        assert_eq!(SimStats::default().mispredict_rate(), 0.0);
+        let s = SimStats { branches: 200, mispredicts: 30, ..SimStats::default() };
+        assert_eq!(s.mispredict_rate(), 0.15);
+    }
+
+    #[test]
+    fn l2_miss_rate_handles_zero_l1_misses() {
+        assert_eq!(SimStats::default().l2_miss_rate(), 0.0);
+        let s = SimStats { l1_misses: 40, l2_misses: 10, ..SimStats::default() };
+        assert_eq!(s.l2_miss_rate(), 0.25);
+    }
+
+    #[test]
+    fn json_round_trips_counters_and_derived_rates() {
+        let s = filled(1);
+        let j = s.to_json();
+        assert_eq!(j.get("cycles").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("committed").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("ipc").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("mispredict_rate").and_then(Json::as_f64), Some(6.0 / 5.0));
+        assert_eq!(j.get("l2_miss_rate").and_then(Json::as_f64), Some(12.0 / 11.0));
+        let configs = j.get("cycles_at_config").and_then(Json::as_arr).unwrap();
+        assert_eq!(configs.len(), MAX_CLUSTERS);
+        assert_eq!(configs[0].as_f64(), Some(100.0));
+        let stalls = j.get("dispatch_stalls").unwrap();
+        assert_eq!(stalls.get("fetch").and_then(Json::as_f64), Some(25.0));
+        assert_eq!(stalls.get("rob").and_then(Json::as_f64), Some(26.0));
+        assert_eq!(stalls.get("resources").and_then(Json::as_f64), Some(27.0));
+        // Infinite mispredict interval (no mispredicts) serializes as
+        // null rather than invalid JSON.
+        let none = SimStats { committed: 10, ..SimStats::default() };
+        let reparsed = clustered_stats::json::parse(&none.to_json().to_string_compact()).unwrap();
+        assert_eq!(reparsed.get("mispredict_interval"), Some(&Json::Null));
+        let text = s.to_json().to_string_compact();
+        let parsed = clustered_stats::json::parse(&text).expect("serializer emits valid JSON");
+        assert_eq!(parsed, s.to_json());
     }
 }

@@ -1,0 +1,101 @@
+//! End-to-end checks that [`MetricsObserver`] sees the same machine
+//! the statistics counters describe, and that the observer seam does
+//! not perturb simulation results.
+
+use clustered_sim::{
+    CacheModel, FixedPolicy, MetricsObserver, Processor, ReconfigPolicy, SimConfig, SimStats,
+    SteeringKind,
+};
+use clustered_workloads::by_name;
+
+fn run_observed(
+    cfg: SimConfig,
+    policy: Box<dyn ReconfigPolicy>,
+    instructions: u64,
+) -> (SimStats, MetricsObserver) {
+    let w = by_name("gzip").expect("gzip workload exists");
+    let stream = w.trace().map(Result::unwrap);
+    let mut cpu = Processor::with_observer(
+        cfg,
+        stream,
+        policy,
+        SteeringKind::default(),
+        MetricsObserver::new(1_000),
+    )
+    .expect("valid config");
+    let stats = cpu.run(instructions).expect("no stall");
+    let observer = cpu.observer().clone();
+    (stats, observer)
+}
+
+#[test]
+fn observer_counts_agree_with_stats() {
+    let (stats, m) = run_observed(SimConfig::default(), Box::new(FixedPolicy::new(4)), 30_000);
+    assert_eq!(m.committed(), stats.committed);
+    assert_eq!(m.dispatched(), stats.dispatched);
+    assert_eq!(m.last_cycle, stats.cycles);
+    assert_eq!(m.rob_occupancy.count(), stats.cycles, "one ROB sample per cycle");
+    assert_eq!(m.reg_transfer_hops.count(), stats.reg_transfers);
+    assert_eq!(m.reg_transfer_hops.sum(), stats.reg_transfer_hops);
+    assert_eq!(m.cache_transfer_hops.count(), stats.cache_transfers);
+    assert_eq!(m.cache_transfer_hops.sum(), stats.cache_transfer_hops);
+    // Every instruction issues at least once and loads/stores hit the
+    // cache unless forwarded.
+    assert!(m.issued() >= stats.committed);
+    assert!(m.cache_latency.count() > 0);
+    assert!(!m.timeline.is_empty(), "30k instructions span >1k cycles");
+}
+
+#[test]
+fn observer_sees_decentralized_reconfigurations_and_flushes() {
+    let mut cfg = SimConfig::default();
+    cfg.cache.model = CacheModel::Decentralized;
+    // A policy oscillating between 4 and 16 clusters forces real
+    // drain + flush reconfigurations.
+    struct Oscillate {
+        n: u64,
+    }
+    impl ReconfigPolicy for Oscillate {
+        fn name(&self) -> String {
+            "oscillate".to_string()
+        }
+        fn initial_clusters(&self) -> usize {
+            4
+        }
+        fn on_commit(&mut self, _e: &clustered_sim::CommitEvent) -> Option<usize> {
+            self.n += 1;
+            match self.n % 4_000 {
+                0 => Some(4),
+                2_000 => Some(16),
+                _ => None,
+            }
+        }
+    }
+    let (stats, m) = run_observed(cfg, Box::new(Oscillate { n: 0 }), 20_000);
+    assert!(stats.reconfigurations > 0, "policy must have fired");
+    assert_eq!(m.reconfigs.len() as u64, stats.reconfigurations);
+    assert_eq!(m.flushes.len() as u64, stats.reconfigurations);
+    assert_eq!(
+        m.flushes.iter().map(|f| f.stall_cycles).sum::<u64>(),
+        stats.flush_stall_cycles
+    );
+    assert_eq!(
+        m.flushes.iter().map(|f| f.writebacks).sum::<u64>(),
+        stats.flush_writebacks
+    );
+    for r in &m.reconfigs {
+        assert_ne!(r.from, r.to);
+        assert!(r.cycle <= stats.cycles);
+    }
+}
+
+#[test]
+fn observed_and_unobserved_runs_are_identical() {
+    let w = by_name("gzip").expect("gzip workload exists");
+    let stream = w.trace().map(Result::unwrap);
+    let mut plain = Processor::new(SimConfig::default(), stream, Box::new(FixedPolicy::new(8)))
+        .expect("valid config");
+    let baseline = plain.run(20_000).expect("no stall");
+    let (observed, _) = run_observed(SimConfig::default(), Box::new(FixedPolicy::new(8)), 20_000);
+    assert_eq!(baseline, observed, "observer must not change simulated behaviour");
+}

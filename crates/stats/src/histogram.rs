@@ -1,0 +1,304 @@
+//! Histogram primitives for simulator observability: fixed-width and
+//! power-of-two bucket histograms over `u64` samples, with percentile
+//! queries and JSON export.
+
+use crate::json::Json;
+
+/// How a [`Histogram`] maps samples to buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Buckets {
+    /// `width`-sized linear buckets starting at zero; the last bucket
+    /// absorbs everything at or beyond the range.
+    Linear { width: u64 },
+    /// Bucket `i` holds values whose bit length is `i` (0, 1, 2–3, 4–7,
+    /// …) — constant relative resolution for long-tailed quantities.
+    Log2,
+}
+
+/// A bucketed histogram of `u64` samples.
+///
+/// Designed for hot simulator loops: recording is a shift or a divide
+/// plus an increment, with no allocation after construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Buckets,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram of `buckets` linear buckets, each `width` wide; the
+    /// last bucket also counts every sample at or beyond
+    /// `buckets * width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `buckets` is zero.
+    pub fn linear(width: u64, buckets: usize) -> Histogram {
+        assert!(width > 0, "bucket width must be non-zero");
+        assert!(buckets > 0, "bucket count must be non-zero");
+        Histogram {
+            buckets: Buckets::Linear { width },
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// A histogram of power-of-two buckets: 0, 1, 2–3, 4–7, … up to
+    /// `u64::MAX`.
+    pub fn log2() -> Histogram {
+        Histogram {
+            buckets: Buckets::Log2,
+            counts: vec![0; 65],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(&self, value: u64) -> usize {
+        match self.buckets {
+            Buckets::Linear { width } => ((value / width) as usize).min(self.counts.len() - 1),
+            Buckets::Log2 => (64 - value.leading_zeros()) as usize,
+        }
+    }
+
+    /// The inclusive `(lo, hi)` value range of bucket `i`.
+    fn bucket_range(&self, i: usize) -> (u64, u64) {
+        match self.buckets {
+            Buckets::Linear { width } => {
+                let lo = i as u64 * width;
+                if i == self.counts.len() - 1 {
+                    (lo, u64::MAX)
+                } else {
+                    (lo, lo + width - 1)
+                }
+            }
+            Buckets::Log2 => {
+                if i == 0 {
+                    (0, 0)
+                } else {
+                    (1u64 << (i - 1), (1u64 << (i - 1)).wrapping_mul(2).wrapping_sub(1).max(1))
+                }
+            }
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let b = self.bucket_of(value);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records one sample `n` times (e.g. a per-cycle quantity weighted
+    /// by cycles).
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = self.bucket_of(value);
+        self.counts[b] += n;
+        self.total += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// An upper bound for the `q`-quantile (`0.0..=1.0`): the inclusive
+    /// upper edge of the bucket containing it, clamped to the observed
+    /// maximum. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in 0..=1, got {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q * (self.total - 1) as f64).round() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Some(self.bucket_range(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucketings.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets, other.buckets, "cannot merge differently bucketed histograms");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// JSON export: summary statistics plus the non-empty buckets as
+    /// `{"lo", "hi", "count"}` records (empty buckets are elided so
+    /// log2 histograms stay compact).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = self.bucket_range(i);
+                Json::object().set("lo", lo).set("hi", hi.min(self.max)).set("count", c)
+            })
+            .collect();
+        Json::object()
+            .set("count", self.total)
+            .set("mean", self.mean())
+            .set("min", self.min().map_or(Json::Null, Json::from))
+            .set("max", self.max().map_or(Json::Null, Json::from))
+            .set("p50", self.quantile(0.5).map_or(Json::Null, Json::from))
+            .set("p95", self.quantile(0.95).map_or(Json::Null, Json::from))
+            .set("p99", self.quantile(0.99).map_or(Json::Null, Json::from))
+            .set("buckets", Json::Arr(buckets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_count_and_clamp() {
+        let mut h = Histogram::linear(10, 4); // 0-9, 10-19, 20-29, 30+
+        for v in [0, 5, 9, 10, 25, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        let j = h.to_json();
+        let buckets = j.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].get("count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(buckets[3].get("lo").and_then(Json::as_f64), Some(30.0));
+    }
+
+    #[test]
+    fn log2_buckets_by_bit_length() {
+        let mut h = Histogram::log2();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1 << 20] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4..7 → bucket 3.
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.counts[3], 2);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.counts[21], 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let mut h = Histogram::linear(1, 101);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((49..=51).contains(&p50), "p50 was {p50}");
+        assert_eq!(h.quantile(1.0), Some(99));
+        assert!(Histogram::linear(1, 1).quantile(0.5).is_none(), "empty → None");
+    }
+
+    #[test]
+    fn mean_and_weighted_record() {
+        let mut h = Histogram::linear(10, 10);
+        h.record_n(4, 3);
+        h.record(8);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        h.record_n(100, 0);
+        assert_eq!(h.count(), 4, "zero-weight record is a no-op");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::linear(10, 4);
+        let mut b = Histogram::linear(10, 4);
+        a.record(5);
+        b.record(15);
+        b.record(35);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(35));
+    }
+
+    #[test]
+    #[should_panic(expected = "differently bucketed")]
+    fn merge_rejects_mismatched_buckets() {
+        let mut a = Histogram::linear(10, 4);
+        a.merge(&Histogram::log2());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut h = Histogram::linear(5, 3);
+        h.record(1);
+        let j = h.to_json();
+        assert_eq!(
+            j.keys().unwrap(),
+            vec!["count", "mean", "min", "max", "p50", "p95", "p99", "buckets"]
+        );
+    }
+}

@@ -1,12 +1,18 @@
 //! Reporting utilities for `clustered` experiments: aggregate means,
-//! plain-text tables, and simple text charts for regenerating the
-//! paper's figures on a terminal.
+//! plain-text tables, simple text charts for regenerating the paper's
+//! figures on a terminal, and the machine-readable side of the
+//! observability layer — bucketed [`Histogram`]s and a dependency-free
+//! [`json`] tree used by every exporter.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod histogram;
+pub mod json;
 mod summary;
 mod table;
 
+pub use histogram::Histogram;
+pub use json::Json;
 pub use summary::{geometric_mean, harmonic_mean, normalised, percent_change};
 pub use table::{Align, Table};

@@ -8,7 +8,6 @@
 
 use super::{REGION_A, REGION_TAB};
 use crate::data::{f64_block, rng_for};
-use rand::Rng;
 
 /// Number of 8×8 blocks (each 64 doubles; 1024 blocks = 512 KB).
 const BLOCKS: usize = 1024;
@@ -18,7 +17,7 @@ pub(crate) fn build() -> (String, Vec<(u64, Vec<u8>)>) {
     let coeffs = f64_block(&mut rng, BLOCKS * 64, -128.0, 128.0);
     // ~10% of blocks are flagged "DC-only" and skipped, a data-dependent
     // decision the branch predictor cannot fully learn.
-    let flags: Vec<u8> = (0..BLOCKS).map(|_| u8::from(rng.gen_range(0..10) == 0)).collect();
+    let flags: Vec<u8> = (0..BLOCKS).map(|_| u8::from(rng.below(10) == 0)).collect();
     let segments = vec![(REGION_A, coeffs), (REGION_TAB, flags)];
     let source = format!(
         r"

@@ -7,7 +7,6 @@
 
 use super::{REGION_A, REGION_TAB};
 use crate::data::rng_for;
-use rand::seq::SliceRandom;
 
 /// Number of hash buckets.
 const BUCKETS: usize = 512;
@@ -22,7 +21,7 @@ pub(crate) fn build() -> (String, Vec<(u64, Vec<u8>)>) {
     // Scatter the nodes of every chain across the arena so pointer
     // chasing has no spatial locality.
     let mut slots: Vec<usize> = (0..total).collect();
-    slots.shuffle(&mut rng);
+    rng.shuffle(&mut slots);
     let mut arena = vec![0u8; total * NODE];
     let mut heads = vec![0u8; BUCKETS * 8];
     for bucket in 0..BUCKETS {

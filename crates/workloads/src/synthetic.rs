@@ -206,7 +206,6 @@ mod tests {
             .take(20_000)
             .filter_map(Result::ok)
             .filter_map(|d| d.branch)
-            .filter(|b| b.taken || !b.taken)
             .map(|b| b.taken)
             .collect();
         let taken_count = taken.iter().filter(|&&t| t).count();

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# The whole CI gate, runnable locally and offline: build, tests, and
+# lints for every workspace crate. No network access is required — the
+# workspace has no external dependencies by design (see Cargo.toml).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo clippy --workspace -- -D warnings"
+# Clippy is optional on machines without the component (it ships with
+# rustup's default profile; minimal installs may lack it).
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint step" >&2
+fi
+
+echo "CI gate passed."

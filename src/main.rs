@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! clustered run --workload gzip --policy explore --instructions 500000
+//! clustered run --workload gzip --policy explore --json
 //! clustered run --program kernel.s --clusters 8 --decentralized
+//! clustered trace --workload gzip --policy explore --out trace.json
 //! clustered asm kernel.s            # assemble + disassemble/report
 //! clustered workloads               # list the built-in suite
 //! clustered phases --workload gzip  # Table-4 style instability report
@@ -11,11 +13,14 @@
 use clustered::policies::phase::{
     instability_factor, MetricsRecorder, StabilityThresholds,
 };
-use clustered::policies::{FineGrain, IntervalDistantIlp, IntervalExplore, Recording};
-use clustered::sim::{
-    estimate_energy, CacheModel, EnergyParams, FixedPolicy, Processor, ReconfigPolicy,
-    SimConfig, Topology,
+use clustered::policies::{
+    chrome_trace, timeline_jsonl, FineGrain, IntervalDistantIlp, IntervalExplore, Recording,
 };
+use clustered::sim::{
+    estimate_energy, CacheModel, EnergyParams, FixedPolicy, MetricsObserver, Processor,
+    ReconfigPolicy, SimConfig, SteeringKind, Topology,
+};
+use clustered::stats::Json;
 use clustered::{emu, isa, workloads};
 use std::process::ExitCode;
 
@@ -23,6 +28,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
         Some("phases") => cmd_phases(&args[1..]),
@@ -65,6 +71,14 @@ USAGE:
                 [--clusters N] [--instructions N] [--warmup N]
                 [--decentralized] [--grid] [--monolithic] [--energy]
                 [--csv FILE]      write a per-interval timeline CSV
+                [--json]          print statistics as a JSON document
+  clustered trace [--workload NAME | --program FILE.s]
+                [--policy ...] [--clusters N] [--instructions N]
+                [--warmup N] [--interval N] [--decentralized] [--grid]
+                [--monolithic] [--out FILE.json] [--events FILE.jsonl]
+                                write a Chrome trace-event file (load in
+                                chrome://tracing or ui.perfetto.dev) and,
+                                with --events, a per-interval JSONL timeline
   clustered asm FILE.s          assemble a program and report on it
   clustered workloads           list built-in workloads
   clustered phases --workload NAME [--instructions N]
@@ -196,6 +210,7 @@ const RUN_FLAGS: &[&str] = &[
     "monolithic",
     "energy",
     "csv",
+    "json",
 ];
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -228,24 +243,51 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     cpu.run(instructions).map_err(|e| e.to_string())?;
     let s = cpu.stats().delta_since(&before);
 
-    println!("workload            {}", workload.name());
-    println!("policy              {policy_name}");
-    println!("instructions        {}", s.committed);
-    println!("cycles              {}", s.cycles);
-    println!("IPC                 {:.3}", s.ipc());
-    println!("mean active clusters {:.1}", s.avg_active_clusters());
-    println!("reconfigurations    {}", s.reconfigurations);
-    println!("branch mispredicts  {} (1 per {:.0} instructions)", s.mispredicts, s.mispredict_interval());
-    println!("L1 hit rate         {:.1}%", 100.0 * s.l1_hit_rate());
-    println!(
-        "register transfers  {} ({:.2} hops avg)",
-        s.reg_transfers,
-        s.avg_transfer_hops()
-    );
-    println!(
-        "distant-ILP issues  {:.1}%",
-        100.0 * s.distant_issues as f64 / s.committed.max(1) as f64
-    );
+    if flags.has("json") {
+        // Run metadata first, then every counter and derived rate from
+        // the exhaustive SimStats export.
+        let mut doc = Json::object()
+            .set("workload", workload.name())
+            .set("policy", policy_name.as_str())
+            .set("warmup", warmup);
+        if let Json::Obj(fields) = s.to_json() {
+            for (key, value) in fields {
+                doc = doc.set(&key, value);
+            }
+        }
+        if flags.has("energy") {
+            let e = estimate_energy(&s, &EnergyParams::default());
+            doc = doc.set(
+                "energy",
+                Json::object()
+                    .set("total", e.total())
+                    .set("active_leakage", e.active_leakage)
+                    .set("idle_leakage", e.idle_leakage)
+                    .set("dynamic", e.dynamic)
+                    .set("per_instruction", e.per_instruction(&s)),
+            );
+        }
+        println!("{}", doc.to_string_pretty());
+    } else {
+        println!("workload            {}", workload.name());
+        println!("policy              {policy_name}");
+        println!("instructions        {}", s.committed);
+        println!("cycles              {}", s.cycles);
+        println!("IPC                 {:.3}", s.ipc());
+        println!("mean active clusters {:.1}", s.avg_active_clusters());
+        println!("reconfigurations    {}", s.reconfigurations);
+        println!("branch mispredicts  {} (1 per {:.0} instructions)", s.mispredicts, s.mispredict_interval());
+        println!("L1 hit rate         {:.1}%", 100.0 * s.l1_hit_rate());
+        println!(
+            "register transfers  {} ({:.2} hops avg)",
+            s.reg_transfers,
+            s.avg_transfer_hops()
+        );
+        println!(
+            "distant-ILP issues  {:.1}%",
+            100.0 * s.distant_issues as f64 / s.committed.max(1) as f64
+        );
+    }
     if let (Some(path), Some(timeline)) = (flags.get("csv"), timeline.as_ref()) {
         let mut csv = String::from("committed,cycles,ipc,branches,memrefs,clusters\n");
         // Match the printed statistics: intervals entirely inside the
@@ -262,9 +304,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             ));
         }
         std::fs::write(path, csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-        println!("timeline            {path} ({} intervals)", timeline.borrow().len());
+        if !flags.has("json") {
+            println!("timeline            {path} ({} intervals)", timeline.borrow().len());
+        }
     }
-    if flags.has("energy") {
+    if flags.has("energy") && !flags.has("json") {
         let e = estimate_energy(&s, &EnergyParams::default());
         println!(
             "energy              {:.0} (leakage {:.0} + dynamic {:.0}), {:.3}/instr",
@@ -273,6 +317,72 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             e.dynamic,
             e.per_instruction(&s)
         );
+    }
+    Ok(())
+}
+
+const TRACE_FLAGS: &[&str] = &[
+    "workload",
+    "program",
+    "policy",
+    "clusters",
+    "instructions",
+    "warmup",
+    "interval",
+    "decentralized",
+    "grid",
+    "monolithic",
+    "out",
+    "events",
+];
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, TRACE_FLAGS)?;
+    let workload = load_workload(&flags)?;
+    let cfg = build_config(&flags)?;
+    let policy = build_policy(&flags, &cfg)?;
+    let policy_name = policy.name();
+    let instructions = flags.get_u64("instructions", 500_000)?;
+    let warmup = flags.get_u64("warmup", 50_000)?;
+    let interval = flags.get_u64("interval", 1_000)?;
+    if interval == 0 {
+        return Err("--interval must be non-zero".into());
+    }
+    let out_path = flags.get("out").unwrap_or("trace.json");
+
+    // Unlike `run`, the trace covers the whole execution including the
+    // warm-up: a timeline with a hole at the start is more confusing
+    // than one marked from cycle 0.
+    let (policy, timeline) = Recording::new(BoxedPolicy(policy), interval);
+    let stream = workload.trace().map(|r| r.expect("workload trace"));
+    let mut cpu = Processor::with_observer(
+        cfg,
+        stream,
+        Box::new(policy),
+        SteeringKind::default(),
+        MetricsObserver::new(interval),
+    )
+    .map_err(|e| e.to_string())?;
+    cpu.run(warmup + instructions).map_err(|e| e.to_string())?;
+    let s = *cpu.stats();
+
+    let trace = chrome_trace(cpu.observer());
+    let events = trace.as_arr().map_or(0, <[Json]>::len);
+    std::fs::write(out_path, trace.to_string_pretty())
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+
+    println!("workload            {}", workload.name());
+    println!("policy              {policy_name}");
+    println!("instructions        {}", s.committed);
+    println!("cycles              {}", s.cycles);
+    println!("IPC                 {:.3}", s.ipc());
+    println!("reconfigurations    {}", s.reconfigurations);
+    println!("trace               {out_path} ({events} events)");
+    if let Some(events_path) = flags.get("events") {
+        let jsonl = timeline_jsonl(&timeline.borrow());
+        std::fs::write(events_path, jsonl)
+            .map_err(|e| format!("cannot write `{events_path}`: {e}"))?;
+        println!("events              {events_path} ({} intervals)", timeline.borrow().len());
     }
     Ok(())
 }

@@ -186,6 +186,89 @@ fn program_ending_in_warmup_is_a_clear_error() {
 }
 
 #[test]
+fn run_json_emits_a_parseable_document() {
+    let out = clustered(&[
+        "run",
+        "--workload",
+        "gzip",
+        "--policy",
+        "explore",
+        "--warmup",
+        "2000",
+        "--instructions",
+        "10000",
+        "--json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let doc = clustered::stats::json::parse(&stdout(&out))
+        .expect("stdout must be exactly one valid JSON document");
+    use clustered::stats::Json;
+    assert_eq!(doc.get("workload").and_then(Json::as_str), Some("gzip"));
+    let ipc = doc.get("ipc").and_then(Json::as_f64).expect("ipc present");
+    assert!(ipc > 0.0);
+    let cycles = doc.get("cycles").and_then(Json::as_f64).expect("cycles present");
+    assert!(cycles > 0.0);
+    let configs = doc
+        .get("cycles_at_config")
+        .and_then(Json::as_arr)
+        .expect("per-config cycle histogram present");
+    assert_eq!(configs.len(), 16);
+    let config_sum: f64 = configs.iter().filter_map(Json::as_f64).sum();
+    assert_eq!(config_sum, cycles, "config cycles partition total cycles");
+    let stalls = doc.get("dispatch_stalls").expect("stall attribution present");
+    for key in ["fetch", "rob", "resources"] {
+        assert!(stalls.get(key).and_then(Json::as_f64).is_some(), "missing stall bucket {key}");
+    }
+}
+
+#[test]
+fn trace_writes_chrome_trace_and_jsonl_events() {
+    let dir = std::env::temp_dir().join("clustered_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("trace.json");
+    let events_path = dir.join("events.jsonl");
+    let out = clustered(&[
+        "trace",
+        "--workload",
+        "gzip",
+        "--policy",
+        "explore",
+        "--warmup",
+        "2000",
+        "--instructions",
+        "30000",
+        "--out",
+        trace_path.to_str().expect("utf-8 path"),
+        "--events",
+        events_path.to_str().expect("utf-8 path"),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    use clustered::stats::Json;
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let trace = clustered::stats::json::parse(&trace_text).expect("trace is valid JSON");
+    let events = trace.as_arr().expect("Chrome trace is a JSON array");
+    assert!(!events.is_empty());
+    for e in events {
+        assert!(e.get("ph").and_then(Json::as_str).is_some(), "every event has ph");
+        assert!(e.get("ts").and_then(Json::as_f64).is_some(), "every event has ts");
+        assert!(e.get("name").and_then(Json::as_str).is_some(), "every event has name");
+    }
+    assert!(
+        events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("X")),
+        "at least one configuration span"
+    );
+
+    let jsonl = std::fs::read_to_string(&events_path).expect("events written");
+    assert!(jsonl.lines().count() >= 10, "30k instructions yield many 1k intervals");
+    for line in jsonl.lines() {
+        let entry = clustered::stats::json::parse(line).expect("each line is valid JSON");
+        assert!(entry.get("ipc").and_then(Json::as_f64).is_some());
+        assert!(entry.get("clusters").and_then(Json::as_f64).is_some());
+    }
+}
+
+#[test]
 fn phases_reports_interval_stability() {
     let out = clustered(&["phases", "--workload", "swim", "--instructions", "60000"]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));

@@ -1,0 +1,105 @@
+//! Golden tests for the machine-readable exports: the key set of
+//! `SimStats::to_json` is part of the tool contract (scripts and
+//! notebooks parse it), so changing it must be a conscious, reviewed
+//! decision — update the list below *and* the schema documented in
+//! EXPERIMENTS.md together.
+
+use clustered::policies::{chrome_trace, IntervalExplore};
+use clustered::sim::{MetricsObserver, Processor, SimConfig, SimStats, SteeringKind};
+use clustered::stats::Json;
+
+/// Every key `SimStats::to_json` must emit, in order.
+const STATS_KEYS: &[&str] = &[
+    "cycles",
+    "committed",
+    "dispatched",
+    "ipc",
+    "cond_branches",
+    "branches",
+    "mispredicts",
+    "mispredict_rate",
+    "mispredict_interval",
+    "memrefs",
+    "loads",
+    "stores",
+    "l1_hits",
+    "l1_misses",
+    "l1_hit_rate",
+    "l2_misses",
+    "l2_miss_rate",
+    "lsq_forwards",
+    "reg_transfers",
+    "reg_transfer_hops",
+    "avg_transfer_hops",
+    "cache_transfers",
+    "cache_transfer_hops",
+    "distant_issues",
+    "bank_predictions",
+    "bank_mispredictions",
+    "bank_accuracy",
+    "reconfigurations",
+    "flush_writebacks",
+    "flush_stall_cycles",
+    "active_cluster_cycles",
+    "avg_active_clusters",
+    "cycles_at_config",
+    "dispatch_stalls",
+    "rob_occupancy_sum",
+];
+
+#[test]
+fn stats_json_key_set_is_pinned() {
+    let j = SimStats::default().to_json();
+    let keys = j.keys().expect("to_json returns an object");
+    assert_eq!(
+        keys, STATS_KEYS,
+        "SimStats::to_json key set changed — update this golden list and \
+         the results/*.json schema in EXPERIMENTS.md"
+    );
+    assert_eq!(
+        j.get("dispatch_stalls").and_then(Json::keys).expect("stall attribution object"),
+        vec!["fetch", "rob", "resources"]
+    );
+}
+
+#[test]
+fn observed_explore_run_exports_all_three_documents() {
+    let workload = clustered::workloads::by_name("gzip").expect("known workload");
+    let stream = workload.trace().map(Result::unwrap);
+    let mut cpu = Processor::with_observer(
+        SimConfig::default(),
+        stream,
+        Box::new(IntervalExplore::default()),
+        SteeringKind::default(),
+        MetricsObserver::new(1_000),
+    )
+    .expect("valid config");
+    let stats = cpu.run(40_000).expect("no stall");
+
+    // Stats document: parseable, with the pinned key set.
+    let stats_doc =
+        clustered::stats::json::parse(&stats.to_json().to_string_pretty()).expect("valid JSON");
+    assert_eq!(stats_doc.keys().expect("object"), STATS_KEYS);
+
+    // Observer document: histograms populated by a real run.
+    let m = cpu.observer();
+    let observer_doc = m.to_json();
+    let rob = observer_doc.get("rob_occupancy").expect("rob histogram");
+    assert_eq!(rob.get("count").and_then(Json::as_f64), Some(stats.cycles as f64));
+
+    // Chrome trace: events for every configuration the explore policy
+    // visited, totals consistent with the statistics.
+    let trace = chrome_trace(m);
+    let events = trace.as_arr().expect("array");
+    let spans: Vec<&Json> =
+        events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+    let instants = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+        .count() as u64;
+    assert_eq!(instants, stats.reconfigurations);
+    assert_eq!(spans.len() as u64, stats.reconfigurations + 1, "one span per configuration era");
+    let span_cycles: f64 =
+        spans.iter().filter_map(|e| e.get("dur").and_then(Json::as_f64)).sum();
+    assert_eq!(span_cycles, stats.cycles as f64, "spans tile the whole run");
+}
