@@ -8,7 +8,8 @@
 //! the fixed 16-cluster base, under the normalised energy model in
 //! `clustered_sim::estimate_energy`.
 
-use clustered_bench::{measure_instructions, run_experiment, warmup_instructions};
+use clustered_bench::sweep::{capture_for, run_sweep, SweepPoint};
+use clustered_bench::{measure_instructions, warmup_instructions};
 use clustered_core::{IntervalExplore, IntervalExploreConfig};
 use clustered_sim::{estimate_energy, EnergyParams, FixedPolicy, SimConfig};
 use clustered_stats::Table;
@@ -29,19 +30,35 @@ fn main() {
         "IPC vs fix16",
     ]);
     let mut disabled_sum = 0.0;
-    for w in clustered_workloads::all() {
-        let fixed =
-            run_experiment(&w, SimConfig::default(), Box::new(FixedPolicy::new(16)), warmup, measure);
-        let dynamic = run_experiment(
-            &w,
+    let workloads = clustered_workloads::all();
+    let mut points = Vec::new();
+    for w in &workloads {
+        let trace = capture_for(w, warmup, measure);
+        points.push(SweepPoint::new(
+            format!("{}/fixed16", w.name()),
+            &trace,
             SimConfig::default(),
-            Box::new(IntervalExplore::new(IntervalExploreConfig {
-                max_interval,
-                ..IntervalExploreConfig::default()
-            })),
+            || Box::new(FixedPolicy::new(16)),
             warmup,
             measure,
-        );
+        ));
+        points.push(SweepPoint::new(
+            format!("{}/explore", w.name()),
+            &trace,
+            SimConfig::default(),
+            move || {
+                Box::new(IntervalExplore::new(IntervalExploreConfig {
+                    max_interval,
+                    ..IntervalExploreConfig::default()
+                }))
+            },
+            warmup,
+            measure,
+        ));
+    }
+    let stats = run_sweep(&points);
+    for (w, pair) in workloads.iter().zip(stats.chunks(2)) {
+        let (fixed, dynamic) = (pair[0], pair[1]);
         let e_fixed = estimate_energy(&fixed, &params);
         let e_dynamic = estimate_energy(&dynamic, &params);
         let disabled = 16.0 - dynamic.avg_active_clusters();

@@ -5,9 +5,8 @@
 //! `--json` additionally writes the measurements to
 //! `results/fig3.json` (see EXPERIMENTS.md for the schema).
 
-use clustered_bench::{
-    measure_instructions, run_experiment, warmup_instructions, write_results_json,
-};
+use clustered_bench::sweep::{capture_for, run_sweep, SweepPoint};
+use clustered_bench::{measure_instructions, warmup_instructions, write_results_json};
 use clustered_sim::{FixedPolicy, SimConfig};
 use clustered_stats::{geometric_mean, Json, Table};
 
@@ -19,30 +18,43 @@ fn main() {
     println!("Figure 3: IPCs for fixed cluster organisations");
     println!("(centralized cache, ring interconnect; {measure} measured instructions)\n");
 
+    // One emulation per workload; the whole (workload × cluster-count)
+    // grid replays the shared captures on the sweep worker pool.
+    let workloads = clustered_workloads::all();
+    let mut points = Vec::new();
+    for w in &workloads {
+        let trace = capture_for(w, warmup, measure);
+        points.push(SweepPoint::new(
+            format!("{}/mono", w.name()),
+            &trace,
+            SimConfig::monolithic(),
+            || Box::new(FixedPolicy::new(1)),
+            warmup,
+            measure,
+        ));
+        for &n in &counts {
+            points.push(SweepPoint::new(
+                format!("{}/{n}", w.name()),
+                &trace,
+                SimConfig::default(),
+                move || Box::new(FixedPolicy::new(n)),
+                warmup,
+                measure,
+            ));
+        }
+    }
+    let stats = run_sweep(&points);
+
     let mut table = Table::new(&["benchmark", "mono", "2", "4", "8", "16", "best"]);
     let mut per_count: Vec<Vec<f64>> = vec![Vec::new(); counts.len()];
     let mut workload_docs: Vec<Json> = Vec::new();
-    for w in clustered_workloads::all() {
-        let mono = run_experiment(
-            &w,
-            SimConfig::monolithic(),
-            Box::new(FixedPolicy::new(1)),
-            warmup,
-            measure,
-        )
-        .ipc();
+    for (w, chunk) in workloads.iter().zip(stats.chunks(1 + counts.len())) {
+        let mono = chunk[0].ipc();
         let mut cells = vec![w.name().to_string(), format!("{mono:.2}")];
         let mut best = (0usize, 0.0f64);
         let mut ipcs = Json::object();
         for (i, &n) in counts.iter().enumerate() {
-            let ipc = run_experiment(
-                &w,
-                SimConfig::default(),
-                Box::new(FixedPolicy::new(n)),
-                warmup,
-                measure,
-            )
-            .ipc();
+            let ipc = chunk[1 + i].ipc();
             per_count[i].push(ipc);
             cells.push(format!("{ipc:.2}"));
             ipcs = ipcs.set(&n.to_string(), ipc);

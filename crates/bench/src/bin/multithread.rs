@@ -12,7 +12,8 @@
 //! demonstrated (throughput from avoiding cross-thread interference
 //! and from diminishing returns of width) dominates it.
 
-use clustered_bench::{measure_instructions, run_experiment, warmup_instructions};
+use clustered_bench::sweep::{capture_for, run_sweep, SweepPoint};
+use clustered_bench::{measure_instructions, warmup_instructions};
 use clustered_sim::{FixedPolicy, SimConfig};
 use clustered_stats::Table;
 
@@ -39,42 +40,46 @@ fn main() {
         "12+4 split",
         "best split gain",
     ]);
+    // Every (thread, cluster-allocation) run is independent: build the
+    // whole grid up front — 8 points per pairing — and let the sweep
+    // executor replay the shared per-thread captures concurrently.
+    let mut points = Vec::new();
     for (a, b) in pairings {
         let wa = clustered_workloads::by_name(a).expect("known workload");
         let wb = clustered_workloads::by_name(b).expect("known workload");
+        let ta = capture_for(&wa, warmup, measure);
+        let tb = capture_for(&wb, warmup, measure);
+        for (name, trace, clusters, cfg) in [
+            (a, &ta, 16usize, SimConfig::default()),
+            (b, &tb, 16, SimConfig::default()),
+            (a, &ta, 8, partitioned_config(8)),
+            (b, &tb, 8, partitioned_config(8)),
+            (a, &ta, 12, partitioned_config(12)),
+            (b, &tb, 4, partitioned_config(4)),
+            (a, &ta, 4, partitioned_config(4)),
+            (b, &tb, 12, partitioned_config(12)),
+        ] {
+            points.push(SweepPoint::new(
+                format!("{name}/{clusters}"),
+                trace,
+                cfg,
+                move || Box::new(FixedPolicy::new(clusters)),
+                warmup,
+                measure,
+            ));
+        }
+    }
+    let ipcs: Vec<f64> = run_sweep(&points).iter().map(|s| s.ipc()).collect();
+
+    for ((a, b), run) in pairings.iter().zip(ipcs.chunks(8)) {
         // Time multiplexing: each thread gets the whole machine for
         // half the time → throughput is the mean of the solo IPCs.
-        let solo_a =
-            run_experiment(&wa, SimConfig::default(), Box::new(FixedPolicy::new(16)), warmup, measure)
-                .ipc();
-        let solo_b =
-            run_experiment(&wb, SimConfig::default(), Box::new(FixedPolicy::new(16)), warmup, measure)
-                .ipc();
-        let timemux = (solo_a + solo_b) / 2.0;
+        let timemux = (run[0] + run[1]) / 2.0;
         // Even split: both threads run concurrently on 8 clusters each.
-        let split = |ca: usize, cb: usize| {
-            let ia = run_experiment(
-                &wa,
-                partitioned_config(ca),
-                Box::new(FixedPolicy::new(ca)),
-                warmup,
-                measure,
-            )
-            .ipc();
-            let ib = run_experiment(
-                &wb,
-                partitioned_config(cb),
-                Box::new(FixedPolicy::new(cb)),
-                warmup,
-                measure,
-            )
-            .ipc();
-            ia + ib
-        };
-        let even = split(8, 8);
+        let even = run[2] + run[3];
         // Asymmetric split guided by the single-thread preference: the
         // distant-ILP thread gets 12, the narrow one 4.
-        let skewed = split(12, 4).max(split(4, 12));
+        let skewed = (run[4] + run[5]).max(run[6] + run[7]);
         let best = even.max(skewed);
         table.row(&[
             format!("{a}+{b}"),

@@ -4,7 +4,8 @@
 //! side by side with the values the paper reports for the original
 //! SPEC2k/Mediabench programs.
 
-use clustered_bench::{measure_instructions, run_experiment, warmup_instructions};
+use clustered_bench::sweep::{capture_for, run_sweep, SweepPoint};
+use clustered_bench::{measure_instructions, warmup_instructions};
 use clustered_sim::{FixedPolicy, SimConfig};
 use clustered_stats::Table;
 
@@ -22,14 +23,23 @@ fn main() {
         "memref %",
         "branch %",
     ]);
-    for w in clustered_workloads::all() {
-        let s = run_experiment(
-            &w,
-            SimConfig::monolithic(),
-            Box::new(FixedPolicy::new(1)),
-            warmup,
-            measure,
-        );
+    let workloads = clustered_workloads::all();
+    let points: Vec<SweepPoint> = workloads
+        .iter()
+        .map(|w| {
+            let trace = capture_for(w, warmup, measure);
+            SweepPoint::new(
+                format!("{}/mono", w.name()),
+                &trace,
+                SimConfig::monolithic(),
+                || Box::new(FixedPolicy::new(1)),
+                warmup,
+                measure,
+            )
+        })
+        .collect();
+    let stats = run_sweep(&points);
+    for (w, s) in workloads.iter().zip(stats) {
         let paper = w.paper();
         table.row(&[
             w.name().to_string(),

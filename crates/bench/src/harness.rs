@@ -28,19 +28,22 @@ pub struct CaseResult {
 }
 
 impl CaseResult {
-    /// Fastest sample.
+    /// Fastest sample, or zero for an empty (never-run) case.
     pub fn min(&self) -> Duration {
-        self.sorted[0]
+        self.sorted.first().copied().unwrap_or(Duration::ZERO)
     }
 
-    /// Median sample.
+    /// Median sample, or zero for an empty case.
     pub fn median(&self) -> Duration {
-        self.sorted[self.sorted.len() / 2]
+        self.sorted.get(self.sorted.len() / 2).copied().unwrap_or(Duration::ZERO)
     }
 
-    /// Mean of all samples.
+    /// Mean of all samples, or zero for an empty case.
     pub fn mean(&self) -> Duration {
-        self.sorted.iter().sum::<Duration>() / self.sorted.len() as u32
+        match self.sorted.len() {
+            0 => Duration::ZERO,
+            n => self.sorted.iter().sum::<Duration>() / n as u32,
+        }
     }
 }
 
@@ -57,12 +60,14 @@ fn fmt_duration(d: Duration) -> String {
 
 impl Harness {
     /// A harness named `name`, reading sample count and JSON output
-    /// path from the environment.
+    /// path from the environment. The sample count is clamped to at
+    /// least 1 — `CLUSTERED_BENCH_SAMPLES=0` must not produce empty
+    /// cases whose summaries would otherwise be undefined.
     pub fn from_env(name: &str) -> Harness {
         let samples = std::env::var("CLUSTERED_BENCH_SAMPLES")
             .ok()
             .and_then(|v| v.parse().ok())
-            .filter(|&n: &usize| n > 0)
+            .map(|n: usize| n.max(1))
             .unwrap_or(10);
         println!("bench suite `{name}`: {samples} samples per case\n");
         println!("{:<44} {:>12} {:>12} {:>12}", "case", "min", "median", "mean");
@@ -112,10 +117,14 @@ impl Harness {
         Json::object().set("suite", self.name.as_str()).set("cases", Json::Arr(cases))
     }
 
-    /// Writes the JSON document if `CLUSTERED_BENCH_JSON` is set; call
-    /// last.
+    /// Writes the JSON document if `CLUSTERED_BENCH_JSON` is set
+    /// (creating parent directories; benches run with the crate as
+    /// cwd, so fresh relative paths are common); call last.
     pub fn finish(&self) {
         if let Ok(path) = std::env::var("CLUSTERED_BENCH_JSON") {
+            if let Some(dir) = std::path::Path::new(&path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
             match std::fs::write(&path, self.to_json().to_string_pretty()) {
                 Ok(()) => println!("\nwrote {path}"),
                 Err(e) => eprintln!("\ncannot write {path}: {e}"),
@@ -140,6 +149,27 @@ mod tests {
         let j = h.to_json();
         assert_eq!(j.get("suite").and_then(Json::as_str), Some("t"));
         assert_eq!(j.get("cases").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+    }
+
+    /// Summaries are total: an empty case reports zeros instead of
+    /// panicking on an index or a division by zero.
+    #[test]
+    fn empty_case_summaries_are_zero() {
+        let r = CaseResult { name: "empty".into(), sorted: Vec::new() };
+        assert_eq!(r.min(), Duration::ZERO);
+        assert_eq!(r.median(), Duration::ZERO);
+        assert_eq!(r.mean(), Duration::ZERO);
+    }
+
+    /// `CLUSTERED_BENCH_SAMPLES=0` is clamped to one sample, never an
+    /// empty run.
+    #[test]
+    fn zero_samples_env_is_clamped() {
+        // Env mutation is process-global; keep it scoped and restore.
+        std::env::set_var("CLUSTERED_BENCH_SAMPLES", "0");
+        let h = Harness::from_env("clamp");
+        std::env::remove_var("CLUSTERED_BENCH_SAMPLES");
+        assert_eq!(h.samples, 1);
     }
 
     #[test]

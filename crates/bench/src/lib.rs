@@ -10,7 +10,9 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod sweep;
 
+use clustered_emu::DynInst;
 use clustered_sim::{Processor, ReconfigPolicy, SimConfig, SimStats, SteeringKind};
 use clustered_stats::Json;
 use clustered_workloads::Workload;
@@ -86,6 +88,26 @@ pub fn run_experiment_with_steering(
     let stream = workload
         .trace()
         .map(|r| r.unwrap_or_else(|e| panic!("workload faulted during simulation: {e}")));
+    run_stream(stream, cfg, policy, steering, warmup, measure)
+}
+
+/// Runs an arbitrary dynamic-instruction `stream` under `cfg`, `policy`
+/// and `steering`, discarding a warm-up and returning statistics for
+/// the measured window — the shared core of
+/// [`run_experiment_with_steering`] (live emulation) and the sweep
+/// executor's captured-trace replay path ([`sweep::run_point`]).
+///
+/// # Panics
+///
+/// As for [`run_experiment`].
+pub fn run_stream<T: Iterator<Item = DynInst>>(
+    stream: T,
+    cfg: SimConfig,
+    policy: Box<dyn ReconfigPolicy>,
+    steering: SteeringKind,
+    warmup: u64,
+    measure: u64,
+) -> SimStats {
     let mut cpu = Processor::with_steering(cfg, stream, policy, steering)
         .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
     cpu.run(warmup).unwrap_or_else(|e| panic!("simulator stalled in warm-up: {e}"));

@@ -1,0 +1,222 @@
+//! Parallel sweep executor: a declarative grid of experiment points
+//! run concurrently over shared captured traces.
+//!
+//! Every figure and table of the paper is a grid of (workload ×
+//! configuration × policy) simulations. The points are independent, so
+//! the executor attacks the two redundancies of the old serial loop:
+//!
+//! 1. **Shared emulation** — each workload's dynamic stream is
+//!    captured once ([`CapturedTrace`]) and every point replays the
+//!    same buffer, instead of re-running the functional emulator per
+//!    point.
+//! 2. **Parallel execution** — points fan out over a scoped
+//!    `std::thread` worker pool (no external dependencies; the build
+//!    is offline). Results return in input order and are bit-identical
+//!    to a serial run — each point's simulation is fully isolated, and
+//!    `tests/sweep.rs` pins the equivalence.
+//!
+//! The worker count defaults to the host's available parallelism;
+//! `CLUSTERED_JOBS=n` overrides it (`CLUSTERED_JOBS=1` forces the
+//! serial path).
+//!
+//! # Examples
+//!
+//! ```
+//! use clustered_bench::sweep::{capture_for, run_sweep, SweepPoint};
+//! use clustered_sim::{FixedPolicy, SimConfig};
+//!
+//! let gzip = clustered_workloads::by_name("gzip").unwrap();
+//! let trace = capture_for(&gzip, 1_000, 5_000);
+//! let points: Vec<SweepPoint> = [2usize, 4]
+//!     .iter()
+//!     .map(|&n| {
+//!         SweepPoint::new(
+//!             format!("gzip/{n}"),
+//!             &trace,
+//!             SimConfig::default(),
+//!             move || Box::new(FixedPolicy::new(n)),
+//!             1_000,
+//!             5_000,
+//!         )
+//!     })
+//!     .collect();
+//! let stats = run_sweep(&points); // input order, regardless of finish order
+//! assert_eq!(stats.len(), 2);
+//! assert!(stats.iter().all(|s| s.committed >= 5_000));
+//! ```
+
+use crate::run_stream;
+use clustered_sim::{ReconfigPolicy, SimConfig, SimStats, SteeringKind};
+use clustered_workloads::{CapturedTrace, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Creates a fresh policy instance for one experiment point.
+///
+/// Policies are stateful and not shareable across runs, so each point
+/// carries a factory; the executor instantiates the policy on whichever
+/// worker thread picks the point up.
+pub type PolicyFactory = Box<dyn Fn() -> Box<dyn ReconfigPolicy> + Send + Sync>;
+
+/// One point of an experiment grid: a captured trace plus the timing
+/// configuration, steering heuristic, policy, and measurement window
+/// to simulate it under.
+pub struct SweepPoint {
+    /// Display label (`workload/config` by convention).
+    pub label: String,
+    /// The shared dynamic-instruction stream (cheap clone of an
+    /// [`Arc`](std::sync::Arc)-backed buffer).
+    pub trace: CapturedTrace,
+    /// Timing-model configuration.
+    pub cfg: SimConfig,
+    /// Steering heuristic.
+    pub steering: SteeringKind,
+    /// Reconfiguration-policy factory.
+    pub policy: PolicyFactory,
+    /// Warm-up instructions (discarded).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+}
+
+impl SweepPoint {
+    /// A point with the default steering heuristic.
+    pub fn new(
+        label: impl Into<String>,
+        trace: &CapturedTrace,
+        cfg: SimConfig,
+        policy: impl Fn() -> Box<dyn ReconfigPolicy> + Send + Sync + 'static,
+        warmup: u64,
+        measure: u64,
+    ) -> SweepPoint {
+        SweepPoint {
+            label: label.into(),
+            trace: trace.clone(),
+            cfg,
+            steering: SteeringKind::default(),
+            policy: Box::new(policy),
+            warmup,
+            measure,
+        }
+    }
+
+    /// Replaces the steering heuristic (builder style).
+    pub fn steering(mut self, steering: SteeringKind) -> SweepPoint {
+        self.steering = steering;
+        self
+    }
+}
+
+impl std::fmt::Debug for SweepPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepPoint")
+            .field("label", &self.label)
+            .field("trace", &self.trace.name().to_string())
+            .field("warmup", &self.warmup)
+            .field("measure", &self.measure)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Captures `workload` once with enough records for a
+/// `warmup + measure` window (see
+/// [`CAPTURE_MARGIN`](clustered_workloads::CAPTURE_MARGIN)); the
+/// returned trace is shared by every [`SweepPoint`] built from it.
+pub fn capture_for(workload: &Workload, warmup: u64, measure: u64) -> CapturedTrace {
+    CapturedTrace::for_window(workload, warmup, measure)
+}
+
+/// The sweep worker count: `CLUSTERED_JOBS` if set to a positive
+/// integer, otherwise the host's available parallelism.
+pub fn jobs() -> usize {
+    if let Some(n) = std::env::var("CLUSTERED_JOBS").ok().and_then(|v| v.parse().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs one point: instantiates its policy, replays its captured
+/// trace, and returns the measured-window statistics (identical to
+/// [`run_experiment_with_steering`](crate::run_experiment_with_steering)
+/// on the live workload — the golden test in `tests/sweep.rs` pins
+/// this).
+///
+/// # Panics
+///
+/// Panics if the captured trace is exhausted before the measurement
+/// window completes (the capture was too short for this window —
+/// never the case for traces built by [`capture_for`]), or on the
+/// configuration/stall conditions of
+/// [`run_experiment`](crate::run_experiment).
+pub fn run_point(point: &SweepPoint) -> SimStats {
+    let stats = run_stream(
+        point.trace.replay(),
+        point.cfg,
+        (point.policy)(),
+        point.steering,
+        point.warmup,
+        point.measure,
+    );
+    assert!(
+        stats.committed >= point.measure || point.trace.ended_at_halt(),
+        "sweep point `{}`: captured trace ({} records) exhausted mid-run; \
+         capture a longer window",
+        point.label,
+        point.trace.len(),
+    );
+    stats
+}
+
+/// Runs every point on the calling thread, in order.
+pub fn run_sweep_serial(points: &[SweepPoint]) -> Vec<SimStats> {
+    points.iter().map(run_point).collect()
+}
+
+/// Runs the grid on [`jobs`] worker threads and returns statistics in
+/// input order. Bit-identical to [`run_sweep_serial`] — scheduling
+/// cannot leak into the results because every simulation is isolated.
+pub fn run_sweep(points: &[SweepPoint]) -> Vec<SimStats> {
+    run_sweep_jobs(points, jobs())
+}
+
+/// [`run_sweep`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads (a panicking point poisons
+/// the whole sweep — grids are expected to be panic-free).
+pub fn run_sweep_jobs(points: &[SweepPoint], jobs: usize) -> Vec<SimStats> {
+    let n = points.len();
+    let workers = jobs.min(n).max(1);
+    if workers <= 1 {
+        return run_sweep_serial(points);
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, SimStats)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, run_point(&points[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out = vec![SimStats::default(); n];
+    let mut filled = 0usize;
+    for (i, stats) in rx {
+        out[i] = stats;
+        filled += 1;
+    }
+    assert_eq!(filled, n, "sweep lost results (worker thread died?)");
+    out
+}

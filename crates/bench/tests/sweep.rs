@@ -1,0 +1,132 @@
+//! Correctness pins for the sweep executor and trace replay:
+//!
+//! * **Golden**: a replayed capture produces statistics bit-identical
+//!   to live emulation of the same workload (`SimStats` is all-`u64`,
+//!   so `==` is exact).
+//! * **Equivalence**: the parallel executor returns the same results
+//!   as the serial one, in input order.
+//! * **Determinism**: repeating a run — serially or under the worker
+//!   pool — yields identical statistics.
+
+use clustered_bench::sweep::{
+    capture_for, run_point, run_sweep_jobs, run_sweep_serial, SweepPoint,
+};
+use clustered_bench::{run_experiment, run_experiment_with_steering};
+use clustered_core::{IntervalDistantIlp, IntervalExplore};
+use clustered_sim::{CacheModel, FixedPolicy, SimConfig, SteeringKind};
+
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 20_000;
+
+type PolicyFn = fn() -> Box<dyn clustered_sim::ReconfigPolicy>;
+
+fn decentralized() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.cache.model = CacheModel::Decentralized;
+    cfg
+}
+
+/// Replay must be invisible to the timing model: same stats, bit for
+/// bit, as re-emulating the workload live — across a monolithic, a
+/// clustered, and a decentralized-cache configuration.
+#[test]
+fn golden_replay_matches_live_emulation() {
+    let w = clustered_workloads::by_name("gzip").unwrap();
+    let trace = capture_for(&w, WARMUP, MEASURE);
+    let cases: [(SimConfig, PolicyFn); 3] = [
+        (SimConfig::monolithic(), || Box::new(FixedPolicy::new(1))),
+        (SimConfig::default(), || Box::new(FixedPolicy::new(8))),
+        (decentralized(), || Box::new(FixedPolicy::new(16))),
+    ];
+    for (i, (cfg, policy)) in cases.into_iter().enumerate() {
+        let live = run_experiment(&w, cfg, policy(), WARMUP, MEASURE);
+        let point = SweepPoint::new(format!("gzip/{i}"), &trace, cfg, policy, WARMUP, MEASURE);
+        let replayed = run_point(&point);
+        assert_eq!(live, replayed, "case {i}: replayed stats diverged from live emulation");
+    }
+}
+
+/// The golden guarantee also holds for an adaptive policy and a
+/// non-default steering heuristic — the pieces that carry state across
+/// intervals.
+#[test]
+fn golden_replay_matches_live_adaptive_policy() {
+    let w = clustered_workloads::by_name("crafty").unwrap();
+    let trace = capture_for(&w, WARMUP, MEASURE);
+    let live = run_experiment_with_steering(
+        &w,
+        SimConfig::default(),
+        Box::new(IntervalExplore::default()),
+        SteeringKind::ModN(3),
+        WARMUP,
+        MEASURE,
+    );
+    let point = SweepPoint::new(
+        "crafty/explore",
+        &trace,
+        SimConfig::default(),
+        || Box::new(IntervalExplore::default()),
+        WARMUP,
+        MEASURE,
+    )
+    .steering(SteeringKind::ModN(3));
+    assert_eq!(live, run_point(&point), "adaptive-policy replay diverged");
+}
+
+fn mixed_grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for name in ["gzip", "swim", "djpeg"] {
+        let w = clustered_workloads::by_name(name).unwrap();
+        let trace = capture_for(&w, WARMUP, MEASURE);
+        points.push(SweepPoint::new(
+            format!("{name}/fixed4"),
+            &trace,
+            SimConfig::default(),
+            || Box::new(FixedPolicy::new(4)),
+            WARMUP,
+            MEASURE,
+        ));
+        points.push(SweepPoint::new(
+            format!("{name}/explore"),
+            &trace,
+            SimConfig::default(),
+            || Box::new(IntervalExplore::default()),
+            WARMUP,
+            MEASURE,
+        ));
+        points.push(SweepPoint::new(
+            format!("{name}/distant"),
+            &trace,
+            decentralized(),
+            || Box::new(IntervalDistantIlp::default()),
+            WARMUP,
+            MEASURE,
+        ));
+    }
+    points
+}
+
+/// Parallel execution must be pure speed: same results as the serial
+/// loop, in input order, independent of the worker count. The worker
+/// count is forced (rather than taken from the host) so the test
+/// exercises true concurrency even on a single-core runner.
+#[test]
+fn parallel_sweep_equals_serial_sweep() {
+    let points = mixed_grid();
+    let serial = run_sweep_serial(&points);
+    for jobs in [2, 3, 8] {
+        let parallel = run_sweep_jobs(&points, jobs);
+        assert_eq!(serial, parallel, "parallel ({jobs} jobs) diverged from serial");
+    }
+}
+
+/// Same workload + config + policy twice → identical statistics, both
+/// serially and under the worker pool.
+#[test]
+fn sweeps_are_deterministic_across_runs() {
+    let first = run_sweep_jobs(&mixed_grid(), 3);
+    let again = run_sweep_jobs(&mixed_grid(), 3);
+    assert_eq!(first, again, "repeated parallel sweep diverged");
+    let serial = run_sweep_serial(&mixed_grid());
+    assert_eq!(first, serial, "parallel sweep diverged from fresh serial run");
+}

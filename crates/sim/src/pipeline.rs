@@ -23,7 +23,7 @@ use crate::steer::{Steering, SteerRequest, SteeringKind};
 use clustered_emu::{BranchKind, DynInst};
 use clustered_isa::{ArchReg, OpClass};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -162,9 +162,22 @@ pub struct Processor<T, O = NullObserver> {
     /// Reused issue-selection scratch buffer.
     selected: Vec<(u64, FuGroup, usize)>,
     events: BinaryHeap<Reverse<(u64, u64, EventKind)>>,
-    /// Loads whose forwarding store has not produced its data yet:
-    /// store seq → [(load seq, slice)].
-    loads_waiting_data: HashMap<u64, Vec<(u64, usize)>>,
+    /// Loads whose forwarding store has not produced its data yet, as
+    /// (store seq, load seq, LSQ slice) in arrival order. Bounded by
+    /// LSQ capacity and near-empty in practice, so a flat vector beats
+    /// the former per-store hash map: no hashing on the store
+    /// writeback path and no per-store `Vec` allocation.
+    loads_waiting_data: Vec<(u64, u64, usize)>,
+    /// Scratch for draining `loads_waiting_data` matches without
+    /// holding a borrow across `proceed_load`.
+    waiting_scratch: Vec<(u64, usize)>,
+    /// Reused rename-time scratch for (producer seq, source slot)
+    /// waiter registrations.
+    pending_waits: Vec<(u64, u8)>,
+    /// Recycled waiter vectors: consumers lists drained at writeback
+    /// keep their capacity for future ROB entries instead of being
+    /// reallocated once per producing instruction.
+    waiter_pool: Vec<Vec<(u64, usize, u8)>>,
     event_tick: u64,
     now: u64,
     active: usize,
@@ -290,7 +303,10 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
             trace_done: false,
             selected: Vec::new(),
             events: BinaryHeap::new(),
-            loads_waiting_data: HashMap::new(),
+            loads_waiting_data: Vec::new(),
+            waiting_scratch: Vec::new(),
+            pending_waits: Vec::new(),
+            waiter_pool: Vec::new(),
             event_tick: 0,
             now: 0,
             active: initial,
@@ -454,10 +470,11 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
 
         // Wake consumers, transferring the value to their clusters.
         let waiters = std::mem::take(&mut self.rob[idx].waiters);
-        for (wseq, wcluster, slot) in waiters {
+        for &(wseq, wcluster, slot) in &waiters {
             let arrival = self.value_arrival(idx, wcluster);
             self.source_arrived(wseq, arrival, slot);
         }
+        self.recycle_waiters(waiters);
 
         // A mispredicted control transfer restarts fetch once the
         // redirect reaches the front end (co-located with cluster 0).
@@ -477,11 +494,29 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
             let fslice = self.forward_slice(self.rob[idx].bank);
             let avail = self.now + self.net.latency(cluster, fslice);
             self.lsq[fslice].update_store_data(mem_access.addr >> 3, seq, avail);
-            if let Some(waiting) = self.loads_waiting_data.remove(&seq) {
-                for (load_seq, slice) in waiting {
+            if !self.loads_waiting_data.is_empty() {
+                let mut waiting = std::mem::take(&mut self.waiting_scratch);
+                self.loads_waiting_data.retain(|&(store, load, slice)| {
+                    let matches = store == seq;
+                    if matches {
+                        waiting.push((load, slice));
+                    }
+                    !matches
+                });
+                for (load_seq, slice) in waiting.drain(..) {
                     self.proceed_load(load_seq, slice);
                 }
+                self.waiting_scratch = waiting;
             }
+        }
+    }
+
+    /// Returns a waiter vector's capacity to the reuse pool (bounded
+    /// so a pathological phase cannot pin memory).
+    fn recycle_waiters(&mut self, mut waiters: Vec<(u64, usize, u8)>) {
+        if waiters.capacity() > 0 && self.waiter_pool.len() < 256 {
+            waiters.clear();
+            self.waiter_pool.push(waiters);
         }
     }
 
@@ -618,7 +653,7 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
                 if avail == ABSENT {
                     // The matching store's data is still being computed;
                     // retry when it writes back.
-                    self.loads_waiting_data.entry(store_seq).or_default().push((seq, slice));
+                    self.loads_waiting_data.push((store_seq, seq, slice));
                     return;
                 }
                 self.stats.lsq_forwards += 1;
@@ -691,7 +726,11 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
         self.take_policy_request();
     }
 
-    fn retire(&mut self, e: RobEntry) {
+    fn retire(&mut self, mut e: RobEntry) {
+        // Waiters were drained at writeback; recycle whatever capacity
+        // the entry still holds.
+        let waiters = std::mem::take(&mut e.waiters);
+        self.recycle_waiters(waiters);
         // Stores write their bank at commit (tags, port, stats); the
         // data is buffered so commit itself does not wait.
         match e.class {
@@ -1043,7 +1082,7 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
             distant: false,
             mispredicted,
             copies: [ABSENT; MAX_CLUSTERS],
-            waiters: Vec::new(),
+            waiters: self.waiter_pool.pop().unwrap_or_default(),
             agu_done: ABSENT,
             store_value_at: ABSENT,
             bank: 0,
@@ -1055,7 +1094,7 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
         // Resolve sources: architectural and completed values get (or
         // schedule) a local copy; in-flight producers get a waiter.
         let seq = d.seq;
-        let mut pending_waits: Vec<(u64, u8)> = Vec::new();
+        let mut pending_waits = std::mem::take(&mut self.pending_waits);
         let mut store_value_waited = false;
         for (i, src) in sources.iter().enumerate() {
             let Some(src) = src else { continue };
@@ -1108,10 +1147,12 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
             self.clusters[cluster].enqueue(group, ready_at, seq);
         }
         self.rob.push_back(entry);
-        for (pseq, slot) in pending_waits {
+        for &(pseq, slot) in &pending_waits {
             let pidx = self.rob_index(pseq);
             self.rob[pidx].waiters.push((seq, cluster, slot));
         }
+        pending_waits.clear();
+        self.pending_waits = pending_waits;
         true
     }
 

@@ -1,0 +1,334 @@
+//! Trace capture and replay: run the functional emulator once, keep
+//! the dynamic stream in a compact shared buffer, and replay it any
+//! number of times.
+//!
+//! Every point of an experiment grid simulates the same dynamic
+//! instruction stream — only the timing model's configuration and
+//! policy vary — so re-running the emulator for every point is pure
+//! redundancy. A [`CapturedTrace`] records each executed instruction
+//! in 24 bytes (the static [`Inst`](clustered_isa::Inst) is recovered
+//! from the program text at replay, and the sequence number from the
+//! buffer position), shares the buffer behind an [`Arc`], and hands
+//! out cheap cloneable [`TraceReplay`] iterators satisfying the
+//! simulator's `Iterator<Item = DynInst>` stream bound. Replayed
+//! records are bit-identical to live emulation — pinned by the tests
+//! here and by the golden statistics test in `clustered-bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use clustered_workloads::{by_name, CapturedTrace};
+//!
+//! let gzip = by_name("gzip").unwrap();
+//! let trace = CapturedTrace::capture(&gzip, 10_000);
+//! assert_eq!(trace.len(), 10_000);
+//!
+//! // Two replays of one capture: zero re-emulation, identical streams.
+//! let a: Vec<_> = trace.replay().take(100).collect();
+//! let b: Vec<_> = trace.replay().take(100).collect();
+//! assert_eq!(a, b);
+//! ```
+
+use crate::Workload;
+use clustered_emu::{BranchKind, BranchOutcome, DynInst, MemAccess};
+use clustered_isa::Program;
+use std::sync::Arc;
+
+/// Extra records captured beyond a `warmup + measure` simulation
+/// window by [`CapturedTrace::for_window`].
+///
+/// A trace-driven run fetches ahead of commit by at most the in-flight
+/// capacity of the machine (fetch queue + ROB, 544 entries for every
+/// configuration in this repository); 8192 leaves an order-of-magnitude
+/// margin so replayed runs never exhaust the buffer mid-measurement.
+/// [The sweep executor](../clustered_bench/sweep/index.html) asserts
+/// this invariant after every point.
+pub const CAPTURE_MARGIN: u64 = 8_192;
+
+const MEM_BIT: u16 = 1 << 0;
+const STORE_BIT: u16 = 1 << 1;
+const SIZE_SHIFT: u16 = 2; // two bits: 0 → 1 byte, 1 → 4, 2 → 8
+const BRANCH_BIT: u16 = 1 << 4;
+const KIND_SHIFT: u16 = 5; // three bits, `kind_code` order
+const TAKEN_BIT: u16 = 1 << 8;
+
+/// One dynamic instruction in 24 bytes: effective address, fetch PC,
+/// branch target, and a flag word. The static instruction is implied
+/// by the PC and the sequence number by the buffer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackedInst {
+    addr: u64,
+    pc: u32,
+    next_pc: u32,
+    flags: u16,
+}
+
+fn kind_code(kind: BranchKind) -> u16 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Jump => 1,
+        BranchKind::Indirect => 2,
+        BranchKind::Call => 3,
+        BranchKind::IndirectCall => 4,
+        BranchKind::Return => 5,
+    }
+}
+
+fn code_kind(code: u16) -> BranchKind {
+    match code {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Jump,
+        2 => BranchKind::Indirect,
+        3 => BranchKind::Call,
+        4 => BranchKind::IndirectCall,
+        _ => BranchKind::Return,
+    }
+}
+
+fn pack(d: &DynInst) -> PackedInst {
+    let mut flags = 0u16;
+    let mut addr = 0u64;
+    let mut next_pc = 0u32;
+    if let Some(m) = d.mem {
+        flags |= MEM_BIT;
+        if m.is_store {
+            flags |= STORE_BIT;
+        }
+        let code = match m.size {
+            1 => 0u16,
+            4 => 1,
+            8 => 2,
+            s => panic!("unsupported access size {s}"),
+        };
+        flags |= code << SIZE_SHIFT;
+        addr = m.addr;
+    }
+    if let Some(b) = d.branch {
+        flags |= BRANCH_BIT;
+        flags |= kind_code(b.kind) << KIND_SHIFT;
+        if b.taken {
+            flags |= TAKEN_BIT;
+        }
+        next_pc = b.next_pc;
+    }
+    PackedInst { addr, pc: d.pc, next_pc, flags }
+}
+
+fn unpack(seq: u64, p: PackedInst, program: &Program) -> DynInst {
+    let mem = (p.flags & MEM_BIT != 0).then_some(MemAccess {
+        addr: p.addr,
+        size: match (p.flags >> SIZE_SHIFT) & 0b11 {
+            0 => 1,
+            1 => 4,
+            _ => 8,
+        },
+        is_store: p.flags & STORE_BIT != 0,
+    });
+    let branch = (p.flags & BRANCH_BIT != 0).then(|| BranchOutcome {
+        kind: code_kind((p.flags >> KIND_SHIFT) & 0b111),
+        taken: p.flags & TAKEN_BIT != 0,
+        next_pc: p.next_pc,
+    });
+    let inst = *program
+        .fetch(p.pc)
+        .unwrap_or_else(|| panic!("captured pc {} outside program text", p.pc));
+    DynInst { seq, pc: p.pc, inst, mem, branch }
+}
+
+/// A workload's dynamic instruction stream, emulated once and held in
+/// a compact contiguous buffer shared behind [`Arc`].
+///
+/// Cloning a `CapturedTrace` (or calling [`CapturedTrace::replay`])
+/// only bumps reference counts, so one capture can feed every point of
+/// an experiment grid — including points running concurrently on other
+/// threads.
+#[derive(Debug, Clone)]
+pub struct CapturedTrace {
+    name: String,
+    program: Arc<Program>,
+    records: Arc<[PackedInst]>,
+    ended_at_halt: bool,
+}
+
+impl CapturedTrace {
+    /// Emulates `workload` from its initial state, capturing up to
+    /// `max_records` dynamic instructions (fewer if the program
+    /// halts first — see [`CapturedTrace::ended_at_halt`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload faults during emulation; workload
+    /// kernels are part of the program, not user input.
+    pub fn capture(workload: &Workload, max_records: u64) -> CapturedTrace {
+        let mut records: Vec<PackedInst> = Vec::new();
+        let mut trace = workload.trace();
+        let mut ended_at_halt = false;
+        while (records.len() as u64) < max_records {
+            match trace.next() {
+                Some(Ok(d)) => {
+                    debug_assert_eq!(d.seq, records.len() as u64);
+                    records.push(pack(&d));
+                }
+                Some(Err(e)) => {
+                    panic!("workload `{}` faulted during capture: {e}", workload.name())
+                }
+                None => {
+                    ended_at_halt = true;
+                    break;
+                }
+            }
+        }
+        CapturedTrace {
+            name: workload.name().to_string(),
+            program: Arc::new(workload.program().clone()),
+            records: records.into(),
+            ended_at_halt,
+        }
+    }
+
+    /// Captures enough records for a `warmup + measure` simulation
+    /// window plus [`CAPTURE_MARGIN`] slack for the fetch front end.
+    pub fn for_window(workload: &Workload, warmup: u64, measure: u64) -> CapturedTrace {
+        CapturedTrace::capture(workload, warmup + measure + CAPTURE_MARGIN)
+    }
+
+    /// The captured workload's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of captured dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the capture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether the program halted before the requested record count —
+    /// i.e. the capture covers the *complete* execution and a replay
+    /// that drains it is legitimate rather than truncated.
+    pub fn ended_at_halt(&self) -> bool {
+        self.ended_at_halt
+    }
+
+    /// Size of the shared record buffer in bytes.
+    pub fn buffer_bytes(&self) -> usize {
+        self.records.len() * std::mem::size_of::<PackedInst>()
+    }
+
+    /// A fresh iterator over the captured stream, starting at the
+    /// first record. Cheap: clones two `Arc`s.
+    pub fn replay(&self) -> TraceReplay {
+        TraceReplay {
+            program: Arc::clone(&self.program),
+            records: Arc::clone(&self.records),
+            pos: 0,
+        }
+    }
+}
+
+/// A cheap cloneable iterator replaying a [`CapturedTrace`] as
+/// [`DynInst`] records bit-identical to live emulation.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    program: Arc<Program>,
+    records: Arc<[PackedInst]>,
+    pos: usize,
+}
+
+impl TraceReplay {
+    /// Records remaining to be replayed.
+    pub fn remaining(&self) -> usize {
+        self.records.len() - self.pos
+    }
+}
+
+impl Iterator for TraceReplay {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        let p = *self.records.get(self.pos)?;
+        let d = unpack(self.pos as u64, p, &self.program);
+        self.pos += 1;
+        Some(d)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceReplay {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{by_name, PaperProfile, WorkloadClass};
+
+    fn profile() -> PaperProfile {
+        PaperProfile {
+            class: WorkloadClass::SpecInt,
+            base_ipc: 0.0,
+            mispredict_interval: 0,
+            min_stable_interval: 0,
+            instability_at_10k: 0.0,
+            distant_ilp: false,
+        }
+    }
+
+    /// The core guarantee: replayed records equal live emulation
+    /// bit-for-bit, covering ALU, memory, and branch records.
+    #[test]
+    fn replay_is_bit_identical_to_live_emulation() {
+        for name in ["gzip", "swim", "crafty"] {
+            let w = by_name(name).unwrap();
+            let captured = CapturedTrace::capture(&w, 5_000);
+            assert_eq!(captured.len(), 5_000);
+            assert!(!captured.ended_at_halt());
+            let live: Vec<DynInst> = w.trace().take(5_000).map(Result::unwrap).collect();
+            let replayed: Vec<DynInst> = captured.replay().collect();
+            assert_eq!(live, replayed, "{name}: replay diverged from live emulation");
+        }
+    }
+
+    #[test]
+    fn replays_are_independent_and_cheap() {
+        let w = by_name("gzip").unwrap();
+        let captured = CapturedTrace::capture(&w, 1_000);
+        let mut a = captured.replay();
+        let mut b = captured.replay();
+        a.nth(499);
+        assert_eq!(a.remaining(), 500);
+        assert_eq!(b.remaining(), 1_000);
+        assert_eq!(b.next().unwrap().seq, 0, "clone must start at the beginning");
+        assert_eq!(captured.buffer_bytes(), 1_000 * 24);
+    }
+
+    #[test]
+    fn halting_program_captures_completely() {
+        let w = Workload::from_source(
+            "tiny",
+            "halts after a short loop",
+            profile(),
+            "li r1, 4\nloop: addi r1, r1, -1\n bnez r1, loop\n halt",
+            Vec::new(),
+        );
+        let captured = CapturedTrace::capture(&w, 1_000);
+        assert!(captured.ended_at_halt());
+        assert_eq!(captured.len(), 9); // li + 4 × (addi + bnez)
+        let live: Vec<DynInst> = w.trace().map(Result::unwrap).collect();
+        let replayed: Vec<DynInst> = captured.replay().collect();
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn for_window_adds_margin() {
+        let w = by_name("gzip").unwrap();
+        let captured = CapturedTrace::for_window(&w, 100, 400);
+        assert_eq!(captured.len() as u64, 500 + CAPTURE_MARGIN);
+    }
+}

@@ -32,11 +32,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod capture;
 pub mod data;
 mod kernels;
 mod profile;
 pub mod synthetic;
 
+pub use capture::{CapturedTrace, TraceReplay, CAPTURE_MARGIN};
 pub use profile::{PaperProfile, WorkloadClass};
 
 use clustered_emu::{Machine, Trace};
@@ -117,6 +119,13 @@ impl Workload {
     /// Streams the workload's dynamic instruction trace.
     pub fn trace(&self) -> Trace {
         self.machine().into_trace()
+    }
+
+    /// Emulates the workload once and returns a shareable, replayable
+    /// capture of up to `max_records` dynamic instructions (see
+    /// [`CapturedTrace`]).
+    pub fn capture(&self, max_records: u64) -> CapturedTrace {
+        CapturedTrace::capture(self, max_records)
     }
 }
 

@@ -12,6 +12,11 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> bench smoke (2 samples per case)"
+# Not a performance gate — just proof that every bench target still
+# runs end to end. Two samples keep it to seconds.
+CLUSTERED_BENCH_SAMPLES=2 cargo bench --workspace --quiet
+
 echo "==> cargo clippy --workspace -- -D warnings"
 # Clippy is optional on machines without the component (it ships with
 # rustup's default profile; minimal installs may lack it).

@@ -229,7 +229,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         None => (policy, None),
     };
-    let stream = workload.trace().map(|r| r.expect("workload trace"));
+    // Capture once, replay: same records as live emulation (pinned by
+    // the capture tests), and the buffer is reusable had we multiple
+    // points — the same path the bench sweep executor uses.
+    let stream = workloads::CapturedTrace::for_window(&workload, warmup, instructions).replay();
     let mut cpu = Processor::new(cfg, stream, policy).map_err(|e| e.to_string())?;
     cpu.run(warmup).map_err(|e| e.to_string())?;
     if cpu.finished() {
@@ -354,7 +357,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     // warm-up: a timeline with a hole at the start is more confusing
     // than one marked from cycle 0.
     let (policy, timeline) = Recording::new(BoxedPolicy(policy), interval);
-    let stream = workload.trace().map(|r| r.expect("workload trace"));
+    let stream = workloads::CapturedTrace::for_window(&workload, warmup, instructions).replay();
     let mut cpu = Processor::with_observer(
         cfg,
         stream,
