@@ -59,16 +59,21 @@ fn fmt_duration(d: Duration) -> String {
 }
 
 impl Harness {
-    /// A harness named `name`, reading sample count and JSON output
-    /// path from the environment. The sample count is clamped to at
-    /// least 1 — `CLUSTERED_BENCH_SAMPLES=0` must not produce empty
-    /// cases whose summaries would otherwise be undefined.
+    /// A harness named `name`, reading the sample count from the
+    /// `CLUSTERED_BENCH_SAMPLES` environment variable.
     pub fn from_env(name: &str) -> Harness {
-        let samples = std::env::var("CLUSTERED_BENCH_SAMPLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .map(|n: usize| n.max(1))
-            .unwrap_or(10);
+        Harness::from_env_str(name, std::env::var("CLUSTERED_BENCH_SAMPLES").ok().as_deref())
+    }
+
+    /// The injectable seam behind [`Harness::from_env`]: `samples` is
+    /// the raw `CLUSTERED_BENCH_SAMPLES` value, if set. Tests pass
+    /// values here directly — `std::env::set_var` is process-global, so
+    /// mutating the real environment races sibling test threads that
+    /// read it. The parsed count is clamped to at least 1: a `0` must
+    /// not produce empty cases whose summaries would otherwise be
+    /// undefined.
+    pub fn from_env_str(name: &str, samples: Option<&str>) -> Harness {
+        let samples = samples.and_then(|v| v.parse().ok()).map(|n: usize| n.max(1)).unwrap_or(10);
         println!("bench suite `{name}`: {samples} samples per case\n");
         println!("{:<44} {:>12} {:>12} {:>12}", "case", "min", "median", "mean");
         Harness { name: name.to_string(), samples, results: Vec::new() }
@@ -162,14 +167,15 @@ mod tests {
     }
 
     /// `CLUSTERED_BENCH_SAMPLES=0` is clamped to one sample, never an
-    /// empty run.
+    /// empty run. Exercised through the injectable seam — the test must
+    /// not mutate the process-global environment, which other tests'
+    /// threads may be reading concurrently.
     #[test]
     fn zero_samples_env_is_clamped() {
-        // Env mutation is process-global; keep it scoped and restore.
-        std::env::set_var("CLUSTERED_BENCH_SAMPLES", "0");
-        let h = Harness::from_env("clamp");
-        std::env::remove_var("CLUSTERED_BENCH_SAMPLES");
-        assert_eq!(h.samples, 1);
+        assert_eq!(Harness::from_env_str("clamp", Some("0")).samples, 1);
+        assert_eq!(Harness::from_env_str("parse", Some("7")).samples, 7);
+        assert_eq!(Harness::from_env_str("garbage", Some("not-a-number")).samples, 10);
+        assert_eq!(Harness::from_env_str("unset", None).samples, 10);
     }
 
     #[test]

@@ -122,8 +122,21 @@ impl std::fmt::Debug for SweepPoint {
 /// `warmup + measure` window (see
 /// [`CAPTURE_MARGIN`](clustered_workloads::CAPTURE_MARGIN)); the
 /// returned trace is shared by every [`SweepPoint`] built from it.
+///
+/// When `CLUSTERED_TRACE_CACHE` names a directory, the capture goes
+/// through the on-disk trace cache
+/// ([`capture_for_window_cached`](clustered_workloads::capture_for_window_cached)):
+/// a warm run loads the `.ctrace` file instead of re-emulating, and a
+/// cold run writes it for next time. Replay from cache is bit-identical
+/// to a live capture, so grid results do not depend on cache state
+/// (`tests/trace_cache.rs` pins this).
 pub fn capture_for(workload: &Workload, warmup: u64, measure: u64) -> CapturedTrace {
-    CapturedTrace::for_window(workload, warmup, measure)
+    clustered_workloads::capture_for_window_cached(
+        workload,
+        warmup,
+        measure,
+        clustered_workloads::env_cache_dir().as_deref(),
+    )
 }
 
 /// The sweep worker count: `CLUSTERED_JOBS` if set to a positive

@@ -1,0 +1,83 @@
+//! The capture cache must be invisible to experiment results: a grid
+//! run from `.ctrace` files on disk produces statistics bit-identical
+//! to the same grid run from fresh captures (`SimStats` is all-`u64`,
+//! so `==` is exact).
+//!
+//! The cache directory is passed explicitly rather than through
+//! `CLUSTERED_TRACE_CACHE` — `std::env::set_var` is process-global and
+//! would race sibling test threads (the same reason the bench harness
+//! grew its injectable seam).
+
+use clustered_bench::sweep::{run_sweep_serial, SweepPoint};
+use clustered_core::IntervalExplore;
+use clustered_sim::{FixedPolicy, SimConfig, SimStats};
+use clustered_workloads::{capture_for_window_cached, CapturedTrace};
+use std::path::{Path, PathBuf};
+
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 20_000;
+
+fn grid(traces: &[CapturedTrace]) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for trace in traces {
+        points.push(SweepPoint::new(
+            format!("{}/fixed4", trace.name()),
+            trace,
+            SimConfig::default(),
+            || Box::new(FixedPolicy::new(4)),
+            WARMUP,
+            MEASURE,
+        ));
+        points.push(SweepPoint::new(
+            format!("{}/explore", trace.name()),
+            trace,
+            SimConfig::default(),
+            || Box::new(IntervalExplore::default()),
+            WARMUP,
+            MEASURE,
+        ));
+    }
+    points
+}
+
+fn run_grid(cache_dir: Option<&Path>) -> Vec<SimStats> {
+    let traces: Vec<CapturedTrace> = ["gzip", "swim"]
+        .iter()
+        .map(|name| {
+            let w = clustered_workloads::by_name(name).unwrap();
+            capture_for_window_cached(&w, WARMUP, MEASURE, cache_dir)
+        })
+        .collect();
+    run_sweep_serial(&grid(&traces))
+}
+
+fn test_dir() -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("ctrace-bench-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Cold run (captures live, writes the cache), warm run (loads
+/// `.ctrace` files, zero emulation), and an uncached run must all
+/// yield identical grid statistics.
+#[test]
+fn warm_cache_grid_is_bit_identical_to_cold() {
+    let dir = test_dir();
+    let uncached = run_grid(None);
+    let cold = run_grid(Some(&dir));
+    for name in ["gzip", "swim"] {
+        let path = clustered_workloads::tracefile::cache_path(
+            &dir,
+            name,
+            WARMUP + MEASURE + clustered_workloads::CAPTURE_MARGIN,
+        );
+        assert!(path.exists(), "cold run must leave {} behind", path.display());
+        CapturedTrace::load(&path)
+            .unwrap_or_else(|e| panic!("{}: invalid cache file: {e}", path.display()));
+    }
+    let warm = run_grid(Some(&dir));
+    assert_eq!(cold, uncached, "caching changed cold-run results");
+    assert_eq!(warm, cold, "warm-from-disk grid diverged from cold run");
+    let _ = std::fs::remove_dir_all(dir);
+}

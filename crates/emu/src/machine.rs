@@ -19,6 +19,19 @@ pub enum EmuError {
         /// The length of the text segment.
         text_len: usize,
     },
+    /// An indirect control transfer (`jr`/`callr`/`ret`) targeted an
+    /// instruction index outside the text segment. Checked against the
+    /// full 64-bit register value: a corrupted jump-table entry above
+    /// `u32::MAX` faults here instead of being silently truncated to a
+    /// bogus-but-valid-looking PC.
+    IndirectTargetOutOfRange {
+        /// The PC of the faulting indirect branch.
+        pc: u32,
+        /// The full untruncated target register value.
+        target: u64,
+        /// The length of the text segment.
+        text_len: usize,
+    },
     /// `step` was called after the machine halted.
     Halted,
 }
@@ -28,6 +41,13 @@ impl fmt::Display for EmuError {
         match self {
             EmuError::PcOutOfRange { pc, text_len } => {
                 write!(f, "pc {pc} outside text segment of {text_len} instructions")
+            }
+            EmuError::IndirectTargetOutOfRange { pc, target, text_len } => {
+                write!(
+                    f,
+                    "indirect branch at pc {pc} targets {target}, outside text \
+                     segment of {text_len} instructions"
+                )
             }
             EmuError::Halted => write!(f, "machine has halted"),
         }
@@ -139,6 +159,19 @@ impl Machine {
         if index != 0 {
             self.regs[index as usize] = value;
         }
+    }
+
+    /// Validates an indirect control-transfer target against the full
+    /// 64-bit register value before narrowing it to a PC.
+    fn indirect_target(&self, pc: u32, target: u64) -> Result<u32, EmuError> {
+        if target >= self.program.text().len() as u64 {
+            return Err(EmuError::IndirectTargetOutOfRange {
+                pc,
+                target,
+                text_len: self.program.text().len(),
+            });
+        }
+        Ok(target as u32)
     }
 
     /// Executes one instruction.
@@ -290,7 +323,7 @@ impl Machine {
                 branch = Some(BranchOutcome { kind: BranchKind::Jump, taken: true, next_pc });
             }
             Inst::JumpReg { rs } => {
-                next_pc = self.regs[rs.index() as usize] as u32;
+                next_pc = self.indirect_target(pc, self.regs[rs.index() as usize])?;
                 branch =
                     Some(BranchOutcome { kind: BranchKind::Indirect, taken: true, next_pc });
             }
@@ -300,13 +333,15 @@ impl Machine {
                 branch = Some(BranchOutcome { kind: BranchKind::Call, taken: true, next_pc });
             }
             Inst::CallReg { rs } => {
-                next_pc = self.regs[rs.index() as usize] as u32;
+                // Validate before writing the return address so a
+                // faulting call leaves the machine state untouched.
+                next_pc = self.indirect_target(pc, self.regs[rs.index() as usize])?;
                 self.write_int(31, (pc + 1) as u64);
                 branch =
                     Some(BranchOutcome { kind: BranchKind::IndirectCall, taken: true, next_pc });
             }
             Inst::Ret => {
-                next_pc = self.regs[31] as u32;
+                next_pc = self.indirect_target(pc, self.regs[31])?;
                 branch = Some(BranchOutcome { kind: BranchKind::Return, taken: true, next_pc });
             }
             Inst::Halt => {
@@ -555,6 +590,45 @@ mod tests {
         let mut m = Machine::new(assemble("nop").unwrap());
         m.step().unwrap();
         assert_eq!(m.step(), Err(EmuError::PcOutOfRange { pc: 1, text_len: 1 }));
+    }
+
+    /// A corrupted jump-table entry above `u32::MAX` must fault rather
+    /// than wrap: the low 32 bits here alias the valid PC 2, so silent
+    /// truncation would continue executing at a bogus-but-plausible
+    /// location.
+    #[test]
+    fn indirect_target_above_u32_faults_instead_of_wrapping() {
+        let target = (1u64 << 32) + 2;
+        let mut m = Machine::new(assemble(&format!("li r1, {target}\n jr r1\n halt")).unwrap());
+        m.step().unwrap();
+        assert_eq!(
+            m.step(),
+            Err(EmuError::IndirectTargetOutOfRange { pc: 1, target, text_len: 3 })
+        );
+    }
+
+    /// Indirect transfers to indices past the text segment fault at the
+    /// transfer itself, for all three indirect forms — and a faulting
+    /// `callr` must not have written the return address.
+    #[test]
+    fn indirect_target_out_of_text_faults() {
+        for (source, pc) in [
+            ("li r1, 99\n jr r1\n halt", 1),
+            ("li r1, 99\n callr r1\n halt", 1),
+            ("li r31, 99\n ret\n halt", 1),
+        ] {
+            let mut m = Machine::new(assemble(source).unwrap());
+            m.step().unwrap();
+            assert_eq!(
+                m.step(),
+                Err(EmuError::IndirectTargetOutOfRange { pc, target: 99, text_len: 3 }),
+                "{source}"
+            );
+        }
+        let mut m = Machine::new(assemble("li r1, 99\n callr r1\n halt").unwrap());
+        m.step().unwrap();
+        let _ = m.step();
+        assert_eq!(m.int_reg(31), 0, "faulting callr must not write ra");
     }
 
     #[test]

@@ -85,7 +85,14 @@ impl Histogram {
                 if i == 0 {
                     (0, 0)
                 } else {
-                    (1u64 << (i - 1), (1u64 << (i - 1)).wrapping_mul(2).wrapping_sub(1).max(1))
+                    // Bucket i holds values of bit length i: [2^(i-1),
+                    // 2^i - 1]. The top bucket (i == 64) has no
+                    // representable upper edge, so it saturates to
+                    // u64::MAX explicitly rather than relying on
+                    // wrapping arithmetic happening to land there.
+                    let lo = 1u64 << (i - 1);
+                    let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                    (lo, hi)
                 }
             }
         }
@@ -245,6 +252,26 @@ mod tests {
         assert_eq!(h.counts[3], 2);
         assert_eq!(h.counts[4], 1);
         assert_eq!(h.counts[21], 1);
+    }
+
+    /// The top log2 bucket (bit length 64) must report the exact
+    /// saturated range [2^63, u64::MAX] — and the JSON export, now
+    /// integer-preserving, must carry those bounds losslessly.
+    #[test]
+    fn log2_top_bucket_holds_u64_max() {
+        let mut h = Histogram::log2();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.counts[64], 2);
+        assert_eq!(h.bucket_range(64), (1u64 << 63, u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        let j = h.to_json();
+        let buckets = j.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].get("lo").and_then(Json::as_u64), Some(1u64 << 63));
+        assert_eq!(buckets[0].get("hi").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(buckets[0].get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("max").and_then(Json::as_u64), Some(u64::MAX));
     }
 
     #[test]

@@ -16,9 +16,14 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any number. Non-finite values serialize as `null` (JSON has no
-    /// NaN/Infinity), matching what `JSON.stringify` does.
+    /// A non-integer number. Non-finite values serialize as `null`
+    /// (JSON has no NaN/Infinity), matching what `JSON.stringify` does.
     Num(f64),
+    /// An integer, preserved exactly. Routing counters through `f64`
+    /// silently corrupts values above 2^53 (cycle/committed counters in
+    /// long runs, `min_ns` in bench output); `i128` covers the full
+    /// `u64` and `i64` ranges losslessly.
+    Int(i128),
     /// A string.
     Str(String),
     /// An array.
@@ -57,10 +62,29 @@ impl Json {
         }
     }
 
-    /// The value as a finite number, if it is one.
+    /// The value as a finite number, if it is one. Integers are
+    /// converted (lossily above 2^53 — use [`Json::as_u64`] or
+    /// [`Json::as_i64`] where exactness matters).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`, if it is an integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => i64::try_from(*i).ok(),
             _ => None,
         }
     }
@@ -116,17 +140,17 @@ impl From<f64> for Json {
 }
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
-        Json::Num(v as f64)
+        Json::Int(v as i128)
     }
 }
 impl From<usize> for Json {
     fn from(v: usize) -> Json {
-        Json::Num(v as f64)
+        Json::Int(v as i128)
     }
 }
 impl From<i64> for Json {
     fn from(v: i64) -> Json {
-        Json::Num(v as f64)
+        Json::Int(v as i128)
     }
 }
 impl From<&str> for Json {
@@ -168,13 +192,15 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Formats a number the way JSON expects: integers without a trailing
-/// `.0`, non-finite values as `null`.
+/// Formats a float: non-finite values as `null`, and integral values
+/// with a trailing `.0` so the float/integer distinction survives a
+/// serialize → [`parse`](crate::json::parse) round trip (whole numbers
+/// without a fraction are [`Json::Int`]'s job).
 fn write_num(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null");
-    } else if n == n.trunc() && n.abs() < 9.0e15 {
-        out.push_str(&format!("{}", n as i64));
+    } else if n == n.trunc() {
+        out.push_str(&format!("{n:.1}"));
     } else {
         out.push_str(&format!("{n}"));
     }
@@ -185,6 +211,7 @@ fn write_value(out: &mut String, v: &Json) {
         Json::Null => out.push_str("null"),
         Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Json::Num(n) => write_num(out, *n),
+        Json::Int(i) => out.push_str(&i.to_string()),
         Json::Str(s) => write_escaped(out, s),
         Json::Arr(items) => {
             out.push('[');
@@ -441,6 +468,14 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Integer-looking numbers parse as Json::Int so u64-sized
+        // counters round-trip exactly; anything with a fraction or
+        // exponent (or beyond i128) falls back to f64.
+        if !text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
         text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
             message: format!("bad number `{text}`"),
             offset: start,
@@ -471,7 +506,7 @@ mod tests {
 
     #[test]
     fn numbers_format_like_json() {
-        assert_eq!(Json::Num(3.0).to_string_compact(), "3");
+        assert_eq!(Json::Num(3.0).to_string_compact(), "3.0");
         assert_eq!(Json::Num(3.25).to_string_compact(), "3.25");
         assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
         assert_eq!(Json::Num(f64::INFINITY).to_string_compact(), "null");
@@ -518,8 +553,39 @@ mod tests {
 
     #[test]
     fn u64_counters_print_as_integer_literals() {
-        // f64 holds integers exactly up to 2^53 — far beyond any
-        // realistic simulation counter.
         assert_eq!(Json::from(1u64 << 40).to_string_compact(), "1099511627776");
+        assert_eq!(Json::from(-3i64).to_string_compact(), "-3");
+    }
+
+    /// Integers above 2^53 (where f64 loses exactness) must survive a
+    /// serialize → parse round trip bit-for-bit.
+    #[test]
+    fn u64_counters_above_2_pow_53_are_lossless() {
+        let exact = (1u64 << 53) + 1; // first value an f64 cannot hold
+        let j = Json::from(exact);
+        assert_eq!(j.to_string_compact(), "9007199254740993");
+        assert_eq!(parse(&j.to_string_compact()).unwrap(), j);
+        assert_eq!(j.as_u64(), Some(exact));
+
+        let max = Json::from(u64::MAX);
+        assert_eq!(max.to_string_compact(), "18446744073709551615");
+        let parsed = parse(&max.to_string_compact()).unwrap();
+        assert_eq!(parsed.as_u64(), Some(u64::MAX));
+
+        assert_eq!(Json::from(i64::MIN).as_i64(), Some(i64::MIN));
+        // Conversion queries are range-checked, not wrapping.
+        assert_eq!(Json::from(-1i64).as_u64(), None);
+        assert_eq!(Json::from(u64::MAX).as_i64(), None);
+    }
+
+    /// Fractional and exponent-bearing numbers still parse as floats.
+    #[test]
+    fn parser_distinguishes_ints_from_floats() {
+        assert_eq!(parse("3").unwrap(), Json::Int(3));
+        assert_eq!(parse("-3").unwrap(), Json::Int(-3));
+        assert_eq!(parse("3.0").unwrap(), Json::Num(3.0));
+        assert_eq!(parse("3e2").unwrap(), Json::Num(300.0));
+        // Beyond i128: falls back to f64 rather than failing.
+        assert!(matches!(parse("1e40").unwrap(), Json::Num(_)));
     }
 }

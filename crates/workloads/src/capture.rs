@@ -56,12 +56,17 @@ const TAKEN_BIT: u16 = 1 << 8;
 /// branch target, and a flag word. The static instruction is implied
 /// by the PC and the sequence number by the buffer index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PackedInst {
-    addr: u64,
-    pc: u32,
-    next_pc: u32,
-    flags: u16,
+pub(crate) struct PackedInst {
+    pub(crate) addr: u64,
+    pub(crate) pc: u32,
+    pub(crate) next_pc: u32,
+    pub(crate) flags: u16,
 }
+
+/// The highest flag bit [`pack`] emits; records with bits above this
+/// set did not come from this encoder (used by the trace-file loader to
+/// reject corrupt records).
+pub(crate) const FLAGS_MASK: u16 = (TAKEN_BIT << 1) - 1;
 
 fn kind_code(kind: BranchKind) -> u16 {
     match kind {
@@ -144,10 +149,10 @@ fn unpack(seq: u64, p: PackedInst, program: &Program) -> DynInst {
 /// threads.
 #[derive(Debug, Clone)]
 pub struct CapturedTrace {
-    name: String,
-    program: Arc<Program>,
-    records: Arc<[PackedInst]>,
-    ended_at_halt: bool,
+    pub(crate) name: String,
+    pub(crate) program: Arc<Program>,
+    pub(crate) records: Arc<[PackedInst]>,
+    pub(crate) ended_at_halt: bool,
 }
 
 impl CapturedTrace {
@@ -195,6 +200,14 @@ impl CapturedTrace {
     /// The captured workload's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The program the records were captured from. For traces loaded
+    /// from a `.ctrace` file this is the program *text* only — the
+    /// data segment and symbol table are not persisted, and replay
+    /// needs neither (memory effects are in the records).
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// Number of captured dynamic instructions.

@@ -37,9 +37,11 @@ pub mod data;
 mod kernels;
 mod profile;
 pub mod synthetic;
+pub mod tracefile;
 
 pub use capture::{CapturedTrace, TraceReplay, CAPTURE_MARGIN};
 pub use profile::{PaperProfile, WorkloadClass};
+pub use tracefile::{capture_cached, capture_for_window_cached, env_cache_dir, TraceFileError};
 
 use clustered_emu::{Machine, Trace};
 use clustered_isa::{assemble, Program};

@@ -17,6 +17,20 @@ echo "==> bench smoke (2 samples per case)"
 # runs end to end. Two samples keep it to seconds.
 CLUSTERED_BENCH_SAMPLES=2 cargo bench --workspace --quiet
 
+echo "==> trace cache: cold vs warm fig3 grid"
+# The capture cache must be invisible to results: run one grid cold
+# (captures live, writes .ctrace files), then warm (loads them, zero
+# emulation), and require bit-identical output. Small window: this is
+# a correctness gate, not a measurement.
+CACHE_TMP=$(mktemp -d)
+trap 'rm -rf "$CACHE_TMP"' EXIT
+CLUSTERED_TRACE_CACHE="$CACHE_TMP/traces" CLUSTERED_MEASURE=20000 CLUSTERED_WARMUP=2000 \
+    ./target/release/fig3 > "$CACHE_TMP/cold.txt"
+ls "$CACHE_TMP/traces/"*.ctrace > /dev/null  # the cold run must populate the cache
+CLUSTERED_TRACE_CACHE="$CACHE_TMP/traces" CLUSTERED_MEASURE=20000 CLUSTERED_WARMUP=2000 \
+    ./target/release/fig3 > "$CACHE_TMP/warm.txt"
+cmp "$CACHE_TMP/cold.txt" "$CACHE_TMP/warm.txt"
+
 echo "==> cargo clippy --workspace -- -D warnings"
 # Clippy is optional on machines without the component (it ships with
 # rustup's default profile; minimal installs may lack it).

@@ -4,7 +4,10 @@
 //! clustered run --workload gzip --policy explore --instructions 500000
 //! clustered run --workload gzip --policy explore --json
 //! clustered run --program kernel.s --clusters 8 --decentralized
+//! clustered run --from-trace gzip.ctrace --policy explore
 //! clustered trace --workload gzip --policy explore --out trace.json
+//! clustered trace save --workload gzip --out gzip.ctrace
+//! clustered trace info gzip.ctrace
 //! clustered asm kernel.s            # assemble + disassemble/report
 //! clustered workloads               # list the built-in suite
 //! clustered phases --workload gzip  # Table-4 style instability report
@@ -28,7 +31,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
+        Some("trace") => match args.get(1).map(String::as_str) {
+            Some("save") => cmd_trace_save(&args[2..]),
+            Some("info") => cmd_trace_info(&args[2..]),
+            _ => cmd_trace(&args[1..]),
+        },
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
         Some("phases") => cmd_phases(&args[1..]),
@@ -66,7 +73,7 @@ const USAGE: &str = "\
 clustered — dynamically tunable clustered-processor simulator
 
 USAGE:
-  clustered run [--workload NAME | --program FILE.s]
+  clustered run [--workload NAME | --program FILE.s | --from-trace FILE.ctrace]
                 [--policy fixed|explore|distant|branch|subroutine]
                 [--clusters N] [--instructions N] [--warmup N]
                 [--decentralized] [--grid] [--monolithic] [--energy]
@@ -79,6 +86,12 @@ USAGE:
                                 write a Chrome trace-event file (load in
                                 chrome://tracing or ui.perfetto.dev) and,
                                 with --events, a per-interval JSONL timeline
+  clustered trace save [--workload NAME | --program FILE.s]
+                [--instructions N] [--warmup N] [--out FILE.ctrace]
+                                capture once and write a .ctrace file that
+                                `run --from-trace` replays without re-emulating
+  clustered trace info FILE.ctrace
+                                validate a .ctrace file and print its header
   clustered asm FILE.s          assemble a program and report on it
   clustered workloads           list built-in workloads
   clustered phases --workload NAME [--instructions N]
@@ -87,6 +100,9 @@ USAGE:
 
 Defaults: --workload gzip --policy explore --clusters 4 (fixed policy)
           --instructions 500000 --warmup 50000
+
+Set CLUSTERED_TRACE_CACHE=dir to cache captures as .ctrace files there;
+warm runs of `clustered run` and the bench grids skip emulation entirely.
 ";
 
 struct Flags {
@@ -201,6 +217,7 @@ fn build_policy(flags: &Flags, cfg: &SimConfig) -> Result<Box<dyn ReconfigPolicy
 const RUN_FLAGS: &[&str] = &[
     "workload",
     "program",
+    "from-trace",
     "policy",
     "clusters",
     "instructions",
@@ -215,12 +232,47 @@ const RUN_FLAGS: &[&str] = &[
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, RUN_FLAGS)?;
-    let workload = load_workload(&flags)?;
     let cfg = build_config(&flags)?;
     let policy = build_policy(&flags, &cfg)?;
     let policy_name = policy.name();
     let instructions = flags.get_u64("instructions", 500_000)?;
     let warmup = flags.get_u64("warmup", 50_000)?;
+
+    // Capture once, replay: same records as live emulation (pinned by
+    // the capture tests), and the buffer is reusable had we multiple
+    // points — the same path the bench sweep executor uses. The stream
+    // comes from a .ctrace file (--from-trace), the capture cache
+    // ($CLUSTERED_TRACE_CACHE), or a fresh capture, in that order; all
+    // three replay bit-identically.
+    let trace = match flags.get("from-trace") {
+        Some(path) => {
+            if flags.has("workload") || flags.has("program") {
+                return Err("--from-trace already names the workload; \
+                            drop --workload/--program"
+                    .into());
+            }
+            let t = workloads::CapturedTrace::load(path).map_err(|e| format!("{path}: {e}"))?;
+            if (t.len() as u64) < warmup + instructions && !t.ended_at_halt() {
+                return Err(format!(
+                    "`{path}` holds {} records but this run consumes up to {} \
+                     (--warmup + --instructions); re-save it with a larger window",
+                    t.len(),
+                    warmup + instructions
+                ));
+            }
+            t
+        }
+        None => {
+            let workload = load_workload(&flags)?;
+            workloads::capture_for_window_cached(
+                &workload,
+                warmup,
+                instructions,
+                workloads::env_cache_dir().as_deref(),
+            )
+        }
+    };
+    let workload_name = trace.name().to_string();
 
     let (policy, timeline): (Box<dyn ReconfigPolicy>, _) = match flags.get("csv") {
         Some(_) => {
@@ -229,10 +281,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         None => (policy, None),
     };
-    // Capture once, replay: same records as live emulation (pinned by
-    // the capture tests), and the buffer is reusable had we multiple
-    // points — the same path the bench sweep executor uses.
-    let stream = workloads::CapturedTrace::for_window(&workload, warmup, instructions).replay();
+    let stream = trace.replay();
     let mut cpu = Processor::new(cfg, stream, policy).map_err(|e| e.to_string())?;
     cpu.run(warmup).map_err(|e| e.to_string())?;
     if cpu.finished() {
@@ -250,7 +299,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         // Run metadata first, then every counter and derived rate from
         // the exhaustive SimStats export.
         let mut doc = Json::object()
-            .set("workload", workload.name())
+            .set("workload", workload_name.as_str())
             .set("policy", policy_name.as_str())
             .set("warmup", warmup);
         if let Json::Obj(fields) = s.to_json() {
@@ -272,7 +321,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         println!("{}", doc.to_string_pretty());
     } else {
-        println!("workload            {}", workload.name());
+        println!("workload            {workload_name}");
         println!("policy              {policy_name}");
         println!("instructions        {}", s.committed);
         println!("cycles              {}", s.cycles);
@@ -387,6 +436,38 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write `{events_path}`: {e}"))?;
         println!("events              {events_path} ({} intervals)", timeline.borrow().len());
     }
+    Ok(())
+}
+
+const TRACE_SAVE_FLAGS: &[&str] = &["workload", "program", "instructions", "warmup", "out"];
+
+fn cmd_trace_save(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, TRACE_SAVE_FLAGS)?;
+    let workload = load_workload(&flags)?;
+    let instructions = flags.get_u64("instructions", 500_000)?;
+    let warmup = flags.get_u64("warmup", 50_000)?;
+    let default_out = format!("{}.ctrace", workload.name());
+    let out = flags.get("out").unwrap_or(&default_out);
+    let trace = workloads::CapturedTrace::for_window(&workload, warmup, instructions);
+    trace.save(out).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "{out}: {} records from `{}`{}, sized for --warmup {warmup} --instructions {instructions}",
+        trace.len(),
+        trace.name(),
+        if trace.ended_at_halt() { " (complete execution)" } else { "" },
+    );
+    Ok(())
+}
+
+fn cmd_trace_info(args: &[String]) -> Result<(), String> {
+    let [path] = args else { return Err("usage: clustered trace info FILE.ctrace".into()) };
+    let trace =
+        workloads::CapturedTrace::load(path).map_err(|e| format!("{path}: {e}"))?;
+    println!("workload            {}", trace.name());
+    println!("records             {}", trace.len());
+    println!("program text        {} instructions", trace.program().text().len());
+    println!("complete execution  {}", if trace.ended_at_halt() { "yes (ended at halt)" } else { "no (window capture)" });
+    println!("replay buffer       {} bytes", trace.buffer_bytes());
     Ok(())
 }
 
