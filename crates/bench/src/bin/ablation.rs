@@ -6,28 +6,63 @@
 //! * exploration configuration set (2/4/8/16 vs only 4/16),
 //! * distant-ILP threshold of the no-exploration scheme.
 
-use clustered_bench::{measure_instructions, run_experiment_with_steering, warmup_instructions};
+//!
+//! `--decisions DIR` dumps each run's policy decision trace to
+//! `DIR/<section>-<workload>.jsonl`.
+
+use clustered_bench::{
+    measure_instructions, run_experiment_decisions, run_experiment_with_steering,
+    warmup_instructions, write_decisions_jsonl,
+};
 use clustered_core::{IntervalDistantIlp, IntervalDistantIlpConfig, IntervalExplore, IntervalExploreConfig};
 use clustered_sim::{FixedPolicy, SimConfig, SteeringKind};
 use clustered_stats::{geometric_mean, Table};
+use std::path::{Path, PathBuf};
 
+/// One suite pass: runs every workload under the given configuration
+/// and returns the geometric-mean IPC. When `dump` carries a decision
+/// directory, each run goes through the decision-collecting runner and
+/// writes `DIR/<label>-<workload>.jsonl`.
 fn suite_geomean(
     cfg: SimConfig,
     steering: SteeringKind,
     make: &dyn Fn() -> Box<dyn clustered_sim::ReconfigPolicy>,
     warmup: u64,
     measure: u64,
+    dump: Option<(&Path, &str)>,
 ) -> f64 {
     let ipcs: Vec<f64> = clustered_workloads::all()
         .iter()
-        .map(|w| run_experiment_with_steering(w, cfg, make(), steering, warmup, measure).ipc())
+        .map(|w| match dump {
+            Some((dir, label)) => {
+                let run = run_experiment_decisions(w, cfg, make(), steering, warmup, measure);
+                let stem = format!("{label}-{}", w.name());
+                if let Err(e) = write_decisions_jsonl(dir, &stem, &run.decisions) {
+                    eprintln!("cannot write decision trace for {stem}: {e}");
+                    std::process::exit(1);
+                }
+                run.stats.ipc()
+            }
+            None => run_experiment_with_steering(w, cfg, make(), steering, warmup, measure).ipc(),
+        })
         .collect();
     geometric_mean(&ipcs).unwrap_or(0.0)
+}
+
+fn decisions_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter().position(|a| a == "--decisions").map(|i| {
+        PathBuf::from(args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--decisions expects a directory argument");
+            std::process::exit(2);
+        }))
+    })
 }
 
 fn main() {
     let warmup = warmup_instructions();
     let measure = measure_instructions();
+    let decisions = decisions_dir();
     let max_interval = (measure / 4).max(40_000);
     let cfg = SimConfig::default();
     println!("Ablations ({measure} measured instructions per run)\n");
@@ -41,7 +76,15 @@ fn main() {
         ("Mod_4", SteeringKind::ModN(4)),
         ("First_Fit", SteeringKind::FirstFit),
     ] {
-        let g = suite_geomean(cfg, kind, &|| Box::new(FixedPolicy::new(16)), warmup, measure);
+        let dump = decisions.as_deref().map(|d| (d, format!("steering-{name}")));
+        let g = suite_geomean(
+            cfg,
+            kind,
+            &|| Box::new(FixedPolicy::new(16)),
+            warmup,
+            measure,
+            dump.as_ref().map(|(d, l)| (*d, l.as_str())),
+        );
         t.row(&[name.to_string(), format!("{g:.3}")]);
     }
     println!("{t}");
@@ -51,7 +94,15 @@ fn main() {
     for (name, enabled) in [("trained table (paper)", true), ("arrival estimate", false)] {
         let mut c = cfg;
         c.crit.enabled = enabled;
-        let g = suite_geomean(c, SteeringKind::default(), &|| Box::new(FixedPolicy::new(16)), warmup, measure);
+        let dump = decisions.as_deref().map(|d| (d, format!("crit-{name}")));
+        let g = suite_geomean(
+            c,
+            SteeringKind::default(),
+            &|| Box::new(FixedPolicy::new(16)),
+            warmup,
+            measure,
+            dump.as_ref().map(|(d, l)| (*d, l.as_str())),
+        );
         t.row(&[name.to_string(), format!("{g:.3}")]);
     }
     println!("{t}");
@@ -64,6 +115,7 @@ fn main() {
         ("8/16", vec![8, 16]),
     ] {
         let configs2 = configs.clone();
+        let dump = decisions.as_deref().map(|d| (d, format!("explore-{name}")));
         let g = suite_geomean(
             cfg,
             SteeringKind::default(),
@@ -76,6 +128,7 @@ fn main() {
             },
             warmup,
             measure,
+            dump.as_ref().map(|(d, l)| (*d, l.as_str())),
         );
         t.row(&[name.to_string(), format!("{g:.3}")]);
     }
@@ -84,6 +137,7 @@ fn main() {
     println!("D. Distant-ILP threshold (no-exploration scheme, 1K interval):");
     let mut t = Table::new(&["threshold per 1000", "suite geomean IPC"]);
     for threshold in [80u64, 160, 320] {
+        let dump = decisions.as_deref().map(|d| (d, format!("distant-{threshold}")));
         let g = suite_geomean(
             cfg,
             SteeringKind::default(),
@@ -95,10 +149,14 @@ fn main() {
             },
             warmup,
             measure,
+            dump.as_ref().map(|(d, l)| (*d, l.as_str())),
         );
         t.row(&[threshold.to_string(), format!("{g:.3}")]);
     }
     println!("{t}");
+    if let Some(dir) = &decisions {
+        println!("decision traces in {}\n", dir.display());
+    }
     println!("The paper's choices — producer steering with a moderate imbalance");
     println!("threshold, the full 2/4/8/16 exploration set, and the 160/1000");
     println!("distant-ILP threshold — should be at or near the top of each table.");

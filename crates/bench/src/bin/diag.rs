@@ -1,18 +1,48 @@
 //! Diagnostic dump of detailed simulator statistics for one workload
 //! under a handful of configurations. Intended for model debugging.
+//!
+//! `diag [WORKLOAD] [--decisions DIR]` — the optional directory
+//! receives each configuration's policy decision trace as
+//! `DIR/<workload>-<label>.jsonl`.
 
-use clustered_bench::run_experiment;
-use clustered_sim::{FixedPolicy, SimConfig};
+use clustered_bench::{run_experiment_decisions, write_decisions_jsonl};
+use clustered_sim::{FixedPolicy, SimConfig, SteeringKind};
+use std::path::PathBuf;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "galgel".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let decisions: Option<PathBuf> = args.iter().position(|a| a == "--decisions").map(|i| {
+        PathBuf::from(args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--decisions expects a directory argument");
+            std::process::exit(2);
+        }))
+    });
+    // First positional argument that is neither a flag nor the
+    // directory following --decisions.
+    let name = args
+        .iter()
+        .scan(false, |skip, a| {
+            let keep = !*skip && !a.starts_with("--");
+            *skip = a == "--decisions";
+            Some((keep, a))
+        })
+        .find(|(keep, _)| *keep)
+        .map_or_else(|| "galgel".to_string(), |(_, a)| a.clone());
     let w = clustered_workloads::by_name(&name).expect("known workload");
     for (label, cfg, n) in [
         ("mono", SimConfig::monolithic(), 1usize),
         ("c4", SimConfig::default(), 4),
         ("c16", SimConfig::default(), 16),
     ] {
-        let s = run_experiment(&w, cfg, Box::new(FixedPolicy::new(n)), 30_000, 150_000);
+        let run = run_experiment_decisions(
+            &w,
+            cfg,
+            Box::new(FixedPolicy::new(n)),
+            SteeringKind::default(),
+            30_000,
+            150_000,
+        );
+        let s = run.stats;
         println!("== {name} {label}: IPC {:.3}  cycles {}  committed {}", s.ipc(), s.cycles, s.committed);
         println!(
             "   branches {} cond {} mispred {} (interval {:.0})",
@@ -37,5 +67,16 @@ fn main() {
             s.cache_transfers,
             s.distant_issues as f64 / s.committed as f64
         );
+        if let Some(dir) = &decisions {
+            match write_decisions_jsonl(dir, &format!("{name}-{label}"), &run.decisions) {
+                Ok(path) => {
+                    println!("   decisions {} ({} records)", path.display(), run.decisions.len());
+                }
+                Err(e) => {
+                    eprintln!("cannot write decision trace for {name}-{label}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }

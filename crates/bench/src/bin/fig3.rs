@@ -3,15 +3,34 @@
 //! baseline of Table 3 for reference.
 //!
 //! `--json` additionally writes the measurements to
-//! `results/fig3.json` (see EXPERIMENTS.md for the schema).
+//! `results/fig3.json` (see EXPERIMENTS.md for the schema), and
+//! `--decisions DIR` dumps each grid point's policy decision trace to
+//! `DIR/<label>.jsonl`.
 
-use clustered_bench::sweep::{capture_for, run_sweep, SweepPoint};
-use clustered_bench::{measure_instructions, warmup_instructions, write_results_json};
-use clustered_sim::{FixedPolicy, SimConfig};
+use clustered_bench::sweep::{capture_for, jobs, run_sweep, run_point_decisions, run_sweep_with, SweepPoint};
+use clustered_bench::{
+    measure_instructions, warmup_instructions, write_decisions_jsonl, write_results_json,
+};
+use clustered_sim::{FixedPolicy, SimConfig, SimStats};
 use clustered_stats::{geometric_mean, Json, Table};
+use std::path::PathBuf;
+
+/// Scans the raw argument list for `--decisions DIR` and returns the
+/// directory (shared by the three experiment binaries' ad-hoc
+/// parsers).
+fn decisions_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter().position(|a| a == "--decisions").map(|i| {
+        PathBuf::from(args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--decisions expects a directory argument");
+            std::process::exit(2);
+        }))
+    })
+}
 
 fn main() {
     let json = std::env::args().skip(1).any(|a| a == "--json");
+    let decisions = decisions_dir();
     let warmup = warmup_instructions();
     let measure = measure_instructions();
     let counts = [2usize, 4, 8, 16];
@@ -43,7 +62,20 @@ fn main() {
             ));
         }
     }
-    let stats = run_sweep(&points);
+    let stats: Vec<SimStats> = match &decisions {
+        Some(dir) => {
+            let runs = run_sweep_with(&points, jobs(), run_point_decisions);
+            for (point, run) in points.iter().zip(&runs) {
+                if let Err(e) = write_decisions_jsonl(dir, &point.label, &run.decisions) {
+                    eprintln!("cannot write decision trace for {}: {e}", point.label);
+                    std::process::exit(1);
+                }
+            }
+            println!("wrote {} decision traces to {}\n", runs.len(), dir.display());
+            runs.iter().map(|r| r.stats).collect()
+        }
+        None => run_sweep(&points),
+    };
 
     let mut table = Table::new(&["benchmark", "mono", "2", "4", "8", "16", "best"]);
     let mut per_count: Vec<Vec<f64>> = vec![Vec::new(); counts.len()];

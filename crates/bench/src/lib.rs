@@ -13,10 +13,12 @@ pub mod harness;
 pub mod sweep;
 
 use clustered_emu::DynInst;
-use clustered_sim::{Processor, ReconfigPolicy, SimConfig, SimStats, SteeringKind};
+use clustered_sim::{
+    DecisionRecord, DecisionTrace, Processor, ReconfigPolicy, SimConfig, SimStats, SteeringKind,
+};
 use clustered_stats::Json;
 use clustered_workloads::Workload;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Default measured instructions per run.
 pub const DEFAULT_MEASURE: u64 = 400_000;
@@ -116,6 +118,95 @@ pub fn run_stream<T: Iterator<Item = DynInst>>(
     cpu.stats().delta_since(&before)
 }
 
+/// One run's measured-window statistics plus its policy's decision
+/// trace — the payload of the experiment binaries' `--decisions`
+/// dumps.
+#[derive(Debug, Clone)]
+pub struct RunWithDecisions {
+    /// Measured-window statistics, identical to what [`run_stream`]
+    /// returns for the same inputs (collecting decisions does not
+    /// perturb the simulation).
+    pub stats: SimStats,
+    /// Every decision the policy recorded, warm-up included, in commit
+    /// order (capped at
+    /// [`DEFAULT_EVENT_CAP`](clustered_sim::DEFAULT_EVENT_CAP)).
+    pub decisions: Vec<DecisionRecord>,
+    /// Decision records dropped past the cap.
+    pub dropped_decisions: u64,
+}
+
+/// [`run_stream`] variant that also collects the policy's decision
+/// telemetry through a [`DecisionTrace`] observer.
+///
+/// # Panics
+///
+/// As for [`run_experiment`].
+pub fn run_stream_decisions<T: Iterator<Item = DynInst>>(
+    stream: T,
+    cfg: SimConfig,
+    policy: Box<dyn ReconfigPolicy>,
+    steering: SteeringKind,
+    warmup: u64,
+    measure: u64,
+) -> RunWithDecisions {
+    let mut cpu = Processor::with_observer(cfg, stream, policy, steering, DecisionTrace::new())
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+    cpu.run(warmup).unwrap_or_else(|e| panic!("simulator stalled in warm-up: {e}"));
+    let before = *cpu.stats();
+    cpu.run(measure).unwrap_or_else(|e| panic!("simulator stalled: {e}"));
+    let stats = cpu.stats().delta_since(&before);
+    let (decisions, dropped_decisions) = cpu.observer().clone().into_decisions();
+    RunWithDecisions { stats, decisions, dropped_decisions }
+}
+
+/// [`run_experiment_with_steering`] variant collecting decision
+/// telemetry (live emulation; see [`run_stream_decisions`]).
+///
+/// # Panics
+///
+/// As for [`run_experiment`].
+pub fn run_experiment_decisions(
+    workload: &Workload,
+    cfg: SimConfig,
+    policy: Box<dyn ReconfigPolicy>,
+    steering: SteeringKind,
+    warmup: u64,
+    measure: u64,
+) -> RunWithDecisions {
+    let stream = workload
+        .trace()
+        .map(|r| r.unwrap_or_else(|e| panic!("workload faulted during simulation: {e}")));
+    run_stream_decisions(stream, cfg, policy, steering, warmup, measure)
+}
+
+/// Turns an experiment-point label into a safe file stem: every
+/// character outside `[A-Za-z0-9._-]` becomes `-`.
+pub fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '-' })
+        .collect()
+}
+
+/// Writes one run's decision trace to `<dir>/<sanitized label>.jsonl`
+/// (creating the directory) and returns the path. The line schema is
+/// [`DecisionRecord::to_json`], documented in EXPERIMENTS.md.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing
+/// the file.
+pub fn write_decisions_jsonl(
+    dir: &Path,
+    label: &str,
+    decisions: &[DecisionRecord],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.jsonl", sanitize_label(label)));
+    std::fs::write(&path, clustered_core::decisions_jsonl(decisions))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +227,35 @@ mod tests {
     fn env_defaults() {
         assert_eq!(measure_instructions(), DEFAULT_MEASURE);
         assert_eq!(warmup_instructions(), DEFAULT_WARMUP);
+    }
+
+    #[test]
+    fn decision_run_matches_plain_run_and_collects_records() {
+        let w = by_name("gzip").unwrap();
+        let policy = || Box::new(clustered_core::IntervalDistantIlp::with_interval(1_000));
+        let plain = run_experiment(&w, SimConfig::default(), policy(), 5_000, 20_000);
+        let with = run_experiment_decisions(
+            &w,
+            SimConfig::default(),
+            policy(),
+            SteeringKind::default(),
+            5_000,
+            20_000,
+        );
+        assert_eq!(plain, with.stats, "collecting decisions must not perturb the simulation");
+        assert!(!with.decisions.is_empty(), "1k intervals over a 25k run must decide");
+        assert_eq!(with.dropped_decisions, 0);
+        let mut last = 0;
+        for d in &with.decisions {
+            assert!(d.commit > last, "records in commit order");
+            last = d.commit;
+        }
+    }
+
+    #[test]
+    fn labels_sanitize_to_safe_file_stems() {
+        assert_eq!(sanitize_label("gzip/16"), "gzip-16");
+        assert_eq!(sanitize_label("art (mono)"), "art--mono-");
+        assert_eq!(sanitize_label("plain_name-1.2"), "plain_name-1.2");
     }
 }

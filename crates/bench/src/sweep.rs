@@ -19,6 +19,10 @@
 //! `CLUSTERED_JOBS=n` overrides it (`CLUSTERED_JOBS=1` forces the
 //! serial path).
 //!
+//! Long grids are silent by default; set `CLUSTERED_PROGRESS=1` to get
+//! one stderr line per completed point (completion count, label, and
+//! per-point wall time) as the sweep runs.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,11 +49,12 @@
 //! assert!(stats.iter().all(|s| s.committed >= 5_000));
 //! ```
 
-use crate::run_stream;
+use crate::{run_stream, run_stream_decisions, RunWithDecisions};
 use clustered_sim::{ReconfigPolicy, SimConfig, SimStats, SteeringKind};
 use clustered_workloads::{CapturedTrace, Workload};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Creates a fresh policy instance for one experiment point.
 ///
@@ -182,9 +187,50 @@ pub fn run_point(point: &SweepPoint) -> SimStats {
     stats
 }
 
+/// [`run_point`] variant that also collects the policy's decision
+/// telemetry (the experiment binaries' `--decisions` runner).
+///
+/// # Panics
+///
+/// As for [`run_point`].
+pub fn run_point_decisions(point: &SweepPoint) -> RunWithDecisions {
+    let run = run_stream_decisions(
+        point.trace.replay(),
+        point.cfg,
+        (point.policy)(),
+        point.steering,
+        point.warmup,
+        point.measure,
+    );
+    assert!(
+        run.stats.committed >= point.measure || point.trace.ended_at_halt(),
+        "sweep point `{}`: captured trace ({} records) exhausted mid-run; \
+         capture a longer window",
+        point.label,
+        point.trace.len(),
+    );
+    run
+}
+
+/// Whether per-point progress lines go to stderr
+/// (`CLUSTERED_PROGRESS=1`).
+fn progress_enabled() -> bool {
+    progress_enabled_from(std::env::var("CLUSTERED_PROGRESS").ok().as_deref())
+}
+
+/// The pure decision seam behind [`progress_enabled`], unit-testable
+/// without mutating the process environment.
+fn progress_enabled_from(value: Option<&str>) -> bool {
+    value == Some("1")
+}
+
+fn report_progress(done: usize, total: usize, label: &str, seconds: f64) {
+    eprintln!("clustered-sweep: [{done}/{total}] {label} ({seconds:.2}s)");
+}
+
 /// Runs every point on the calling thread, in order.
 pub fn run_sweep_serial(points: &[SweepPoint]) -> Vec<SimStats> {
-    points.iter().map(run_point).collect()
+    run_sweep_with(points, 1, run_point)
 }
 
 /// Runs the grid on [`jobs`] worker threads and returns statistics in
@@ -201,13 +247,45 @@ pub fn run_sweep(points: &[SweepPoint]) -> Vec<SimStats> {
 /// Propagates panics from worker threads (a panicking point poisons
 /// the whole sweep — grids are expected to be panic-free).
 pub fn run_sweep_jobs(points: &[SweepPoint], jobs: usize) -> Vec<SimStats> {
+    run_sweep_with(points, jobs, run_point)
+}
+
+/// The generic sweep executor: applies `runner` to every point on up
+/// to `jobs` worker threads and returns the results in input order.
+///
+/// [`run_sweep`] is `run_sweep_with(points, jobs(), run_point)`; pass
+/// [`run_point_decisions`] to collect decision telemetry per point, or
+/// any custom closure. With `CLUSTERED_PROGRESS=1` each completed
+/// point logs one stderr line as it finishes, in completion (not
+/// input) order.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn run_sweep_with<R, F>(points: &[SweepPoint], jobs: usize, runner: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&SweepPoint) -> R + Sync,
+{
     let n = points.len();
+    let progress = progress_enabled();
     let workers = jobs.min(n).max(1);
     if workers <= 1 {
-        return run_sweep_serial(points);
+        let mut out = Vec::with_capacity(n);
+        for (i, point) in points.iter().enumerate() {
+            let started = Instant::now();
+            out.push(runner(point));
+            if progress {
+                report_progress(i + 1, n, &point.label, started.elapsed().as_secs_f64());
+            }
+        }
+        return out;
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, SimStats)>();
+    let (tx, rx) = mpsc::channel::<(usize, R, f64)>();
+    let runner = &runner;
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut filled = 0usize;
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -217,19 +295,38 @@ pub fn run_sweep_jobs(points: &[SweepPoint], jobs: usize) -> Vec<SimStats> {
                 if i >= n {
                     break;
                 }
-                if tx.send((i, run_point(&points[i]))).is_err() {
+                let started = Instant::now();
+                let result = runner(&points[i]);
+                if tx.send((i, result, started.elapsed().as_secs_f64())).is_err() {
                     break;
                 }
             });
         }
+        drop(tx);
+        // Drain on the calling thread while workers run, so progress
+        // lines appear live rather than after the final barrier.
+        for (i, result, seconds) in rx {
+            out[i] = Some(result);
+            filled += 1;
+            if progress {
+                report_progress(filled, n, &points[i].label, seconds);
+            }
+        }
     });
-    drop(tx);
-    let mut out = vec![SimStats::default(); n];
-    let mut filled = 0usize;
-    for (i, stats) in rx {
-        out[i] = stats;
-        filled += 1;
-    }
     assert_eq!(filled, n, "sweep lost results (worker thread died?)");
-    out
+    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_flag_requires_exactly_one() {
+        assert!(progress_enabled_from(Some("1")));
+        assert!(!progress_enabled_from(Some("0")));
+        assert!(!progress_enabled_from(Some("yes")));
+        assert!(!progress_enabled_from(Some("")));
+        assert!(!progress_enabled_from(None));
+    }
 }

@@ -7,7 +7,7 @@
 //! needed, it reacts quickly, making small intervals (1K instructions)
 //! meaningful — at the cost of noisier measurements.
 
-use clustered_sim::{CommitEvent, ReconfigPolicy};
+use clustered_sim::{CommitEvent, DecisionReason, DecisionRecord, PolicyState, ReconfigPolicy};
 
 /// Tunables of [`IntervalDistantIlp`], defaults per the paper.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +53,15 @@ enum Mode {
     Locked,
 }
 
+/// Which signal tripped the phase-change detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseSignal {
+    /// Branch/memref counts deviated from the reference.
+    Metrics,
+    /// IPC deviated from the reference.
+    Ipc,
+}
+
 /// The §4.3 policy: probe on the wide machine, then lock to narrow or
 /// wide by the measured distant ILP.
 #[derive(Debug, Clone)]
@@ -70,6 +79,9 @@ pub struct IntervalDistantIlp {
     reference_ipc: f64,
     have_reference: bool,
     skip_left: u64,
+    committed: u64,
+    decision_index: u64,
+    last_decision: Option<DecisionRecord>,
 }
 
 impl Default for IntervalDistantIlp {
@@ -102,6 +114,9 @@ impl IntervalDistantIlp {
             reference_ipc: 0.0,
             have_reference: false,
             skip_left: cfg.startup_skip,
+            committed: 0,
+            decision_index: 0,
+            last_decision: None,
             cfg,
         }
     }
@@ -120,19 +135,46 @@ impl IntervalDistantIlp {
         self.current
     }
 
-    fn phase_changed(&self, ipc: f64) -> bool {
+    fn phase_signal(&self, ipc: f64) -> Option<PhaseSignal> {
         if !self.have_reference {
-            return false;
+            return None;
         }
         let threshold = (self.cfg.interval_length / self.cfg.metric_divisor).max(1);
-        if self.branches.abs_diff(self.reference_branches) > threshold {
-            return true;
+        if self.branches.abs_diff(self.reference_branches) > threshold
+            || self.memrefs.abs_diff(self.reference_memrefs) > threshold
+        {
+            return Some(PhaseSignal::Metrics);
         }
-        if self.memrefs.abs_diff(self.reference_memrefs) > threshold {
-            return true;
-        }
-        self.reference_ipc > 0.0
-            && (ipc - self.reference_ipc).abs() / self.reference_ipc > self.cfg.ipc_noise
+        let ipc_deviates = self.reference_ipc > 0.0
+            && (ipc - self.reference_ipc).abs() / self.reference_ipc > self.cfg.ipc_noise;
+        ipc_deviates.then_some(PhaseSignal::Ipc)
+    }
+
+    fn record_decision(&mut self, now: u64, state: PolicyState, ipc: f64, reason: DecisionReason) {
+        let (branch_delta, memref_delta) = if self.have_reference {
+            (
+                self.branches as i64 - self.reference_branches as i64,
+                self.memrefs as i64 - self.reference_memrefs as i64,
+            )
+        } else {
+            (0, 0)
+        };
+        self.decision_index += 1;
+        self.last_decision = Some(DecisionRecord {
+            interval: self.decision_index,
+            commit: self.committed,
+            start_cycle: self.start_cycle,
+            cycle: now,
+            state,
+            ipc,
+            branch_delta,
+            memref_delta,
+            instability: 0.0,
+            explored_ipc: Vec::new(),
+            interval_length: self.cfg.interval_length,
+            clusters: self.current,
+            reason,
+        });
     }
 
     fn end_interval(&mut self, now: u64) -> Option<usize> {
@@ -152,20 +194,38 @@ impl IntervalDistantIlp {
                 self.reference_ipc = 0.0; // set after the first locked interval
                 let changed = choice != self.current;
                 self.current = choice;
+                self.record_decision(now, PolicyState::Stable, ipc, DecisionReason::ProbeResult);
                 changed.then_some(choice)
             }
             Mode::Locked => {
-                if self.phase_changed(ipc) {
+                let signal = self.phase_signal(ipc);
+                if let Some(signal) = signal {
+                    let reason = match signal {
+                        PhaseSignal::Metrics => DecisionReason::PhaseChangeMetrics,
+                        PhaseSignal::Ipc => DecisionReason::PhaseChangeIpc,
+                    };
+                    // Record before the state flips so the deltas that
+                    // tripped the detector are preserved.
+                    self.record_decision(now, PolicyState::Exploring, ipc, reason);
                     // Re-probe on the wide machine.
                     self.mode = Mode::Probe;
                     self.have_reference = false;
                     let changed = self.current != self.cfg.wide;
                     self.current = self.cfg.wide;
+                    if let Some(d) = self.last_decision.as_mut() {
+                        d.clusters = self.cfg.wide;
+                    }
                     changed.then_some(self.cfg.wide)
                 } else {
                     if self.reference_ipc == 0.0 {
                         self.reference_ipc = ipc;
                     }
+                    self.record_decision(
+                        now,
+                        PolicyState::Stable,
+                        ipc,
+                        DecisionReason::StableNoChange,
+                    );
                     None
                 }
             }
@@ -186,6 +246,7 @@ impl ReconfigPolicy for IntervalDistantIlp {
         if self.instructions == 0 && self.start_cycle == 0 {
             self.start_cycle = event.cycle;
         }
+        self.committed += 1;
         self.instructions += 1;
         if event.is_branch {
             self.branches += 1;
@@ -202,6 +263,14 @@ impl ReconfigPolicy for IntervalDistantIlp {
         let request = if self.skip_left > 0 {
             // Start-up interval: measurements are cold, discard them.
             self.skip_left -= 1;
+            let cycles = event.cycle.saturating_sub(self.start_cycle).max(1);
+            let ipc = self.instructions as f64 / cycles as f64;
+            self.record_decision(
+                event.cycle,
+                PolicyState::Cooldown,
+                ipc,
+                DecisionReason::StartupSkip,
+            );
             None
         } else {
             self.end_interval(event.cycle)
@@ -212,6 +281,10 @@ impl ReconfigPolicy for IntervalDistantIlp {
         self.memrefs = 0;
         self.distant = 0;
         request
+    }
+
+    fn take_decision(&mut self) -> Option<DecisionRecord> {
+        self.last_decision.take()
     }
 }
 

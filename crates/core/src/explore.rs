@@ -12,7 +12,7 @@
 //! algorithm turns itself off, pinned at the most popular
 //! configuration.
 
-use clustered_sim::{CommitEvent, ReconfigPolicy};
+use clustered_sim::{CommitEvent, DecisionReason, DecisionRecord, PolicyState, ReconfigPolicy};
 
 /// Tunables of [`IntervalExplore`], with the paper's values as
 /// defaults.
@@ -106,6 +106,8 @@ pub struct IntervalExplore {
     interval: IntervalCounters,
     total_committed: u64,
     macrophase_mark: u64,
+    decision_index: u64,
+    last_decision: Option<DecisionRecord>,
 }
 
 impl Default for IntervalExplore {
@@ -143,6 +145,8 @@ impl IntervalExplore {
             interval: IntervalCounters::default(),
             total_committed: 0,
             macrophase_mark: 0,
+            decision_index: 0,
+            last_decision: None,
             cfg,
         }
     }
@@ -178,9 +182,23 @@ impl IntervalExplore {
     }
 
     /// Evaluates a finished interval; returns a new cluster request.
+    ///
+    /// Every call also records one [`DecisionRecord`] (drained through
+    /// [`ReconfigPolicy::take_decision`]) capturing which Figure 4
+    /// branch was taken and why.
     fn end_interval(&mut self, now: u64) -> Option<usize> {
         let ipc = self.interval.ipc(now);
         let mut request = None;
+        let mut reason = DecisionReason::StableNoChange;
+        let had_reference = self.have_reference;
+        let (branch_delta, memref_delta) = if had_reference {
+            (
+                self.interval.branches as i64 - self.reference_branches as i64,
+                self.interval.memrefs as i64 - self.reference_memrefs as i64,
+            )
+        } else {
+            (0, 0)
+        };
 
         if self.have_reference {
             let metric_change = self.significant_metric_change();
@@ -189,6 +207,11 @@ impl IntervalExplore {
                 || (ipc_change && self.num_ipc_variations > self.cfg.ipc_variation_threshold)
             {
                 // Phase change: restart exploration.
+                reason = if metric_change {
+                    DecisionReason::PhaseChangeMetrics
+                } else {
+                    DecisionReason::PhaseChangeIpc
+                };
                 self.have_reference = false;
                 self.stable = false;
                 self.num_ipc_variations = 0.0;
@@ -200,6 +223,7 @@ impl IntervalExplore {
                 if self.instability > self.cfg.instability_threshold {
                     self.interval_length *= 2;
                     self.instability = 0.0;
+                    reason = DecisionReason::IntervalDoubled;
                     if self.interval_length > self.cfg.max_interval {
                         // Give up: pin the most popular configuration.
                         let best = self
@@ -212,6 +236,7 @@ impl IntervalExplore {
                         self.discontinued = true;
                         self.current = best;
                         request = Some(best);
+                        reason = DecisionReason::Discontinued;
                     }
                 }
             } else {
@@ -224,6 +249,7 @@ impl IntervalExplore {
             }
         } else {
             // First interval of a new phase: it becomes the reference.
+            reason = DecisionReason::Reference;
             self.have_reference = true;
             self.reference_branches = self.interval.branches;
             self.reference_memrefs = self.interval.memrefs;
@@ -244,8 +270,12 @@ impl IntervalExplore {
                 self.current = self.cfg.explore_configs[best_idx];
                 self.reference_ipc = best_ipc;
                 self.stable = true;
+                reason = DecisionReason::ExplorationComplete;
             } else {
                 self.current = self.cfg.explore_configs[self.explore_idx];
+                if had_reference {
+                    reason = DecisionReason::Exploring;
+                }
             }
             request = Some(self.current);
         }
@@ -257,6 +287,36 @@ impl IntervalExplore {
                 self.popularity[slot] += 1;
             }
         }
+
+        let state = if self.discontinued {
+            PolicyState::Discontinued
+        } else if self.stable {
+            PolicyState::Stable
+        } else {
+            PolicyState::Exploring
+        };
+        let explored_ipc = match reason {
+            DecisionReason::Reference
+            | DecisionReason::Exploring
+            | DecisionReason::ExplorationComplete => self.explored_ipc.clone(),
+            _ => Vec::new(),
+        };
+        self.decision_index += 1;
+        self.last_decision = Some(DecisionRecord {
+            interval: self.decision_index,
+            commit: self.total_committed,
+            start_cycle: self.interval.start_cycle,
+            cycle: now,
+            state,
+            ipc,
+            branch_delta,
+            memref_delta,
+            instability: self.instability,
+            explored_ipc,
+            interval_length: self.interval_length,
+            clusters: self.current,
+            reason,
+        });
         request
     }
 
@@ -299,7 +359,25 @@ impl ReconfigPolicy for IntervalExplore {
         // Macrophase boundary: restart from scratch.
         if self.total_committed - self.macrophase_mark >= self.cfg.macrophase_interval {
             self.macrophase_mark = self.total_committed;
+            let ipc = self.interval.ipc(event.cycle);
+            let start_cycle = self.interval.start_cycle;
             self.macrophase_reset();
+            self.decision_index += 1;
+            self.last_decision = Some(DecisionRecord {
+                interval: self.decision_index,
+                commit: self.total_committed,
+                start_cycle,
+                cycle: event.cycle,
+                state: PolicyState::Exploring,
+                ipc,
+                branch_delta: 0,
+                memref_delta: 0,
+                instability: self.instability,
+                explored_ipc: Vec::new(),
+                interval_length: self.interval_length,
+                clusters: self.current,
+                reason: DecisionReason::MacrophaseReset,
+            });
             self.interval = IntervalCounters { start_cycle: event.cycle, ..Default::default() };
             return Some(self.current);
         }
@@ -310,6 +388,10 @@ impl ReconfigPolicy for IntervalExplore {
         let request = self.end_interval(event.cycle);
         self.interval = IntervalCounters { start_cycle: event.cycle, ..Default::default() };
         request
+    }
+
+    fn take_decision(&mut self) -> Option<DecisionRecord> {
+        self.last_decision.take()
     }
 }
 

@@ -7,20 +7,25 @@
 //!   wrapper's per-interval [`TimelineEntry`] buffer as JSON Lines —
 //!   one self-contained object per interval, the natural input for
 //!   plotting IPC against the policy's cluster decisions.
-//! * [`chrome_trace`] renders a
-//!   [`MetricsObserver`](clustered_sim::MetricsObserver)'s event log in
+//! * [`chrome_trace`] renders a [`MetricsObserver`]'s event log in
 //!   the Chrome trace-event format: every active-cluster configuration
 //!   is a duration (`"ph": "X"`) event, every reconfiguration an
 //!   instant (`"ph": "i"`) event, and every decentralized flush stall a
-//!   duration event on its own track. Load the file in
-//!   `chrome://tracing` or <https://ui.perfetto.dev> to see the
-//!   communication-parallelism trade-off play out over time.
+//!   duration event on its own track. Policy decision telemetry adds
+//!   counter (`"ph": "C"`) tracks — active clusters, interval IPC, and
+//!   instability over time. Load the file in `chrome://tracing` or
+//!   <https://ui.perfetto.dev> to see the communication-parallelism
+//!   trade-off play out over time.
+//! * [`decisions_jsonl`] renders a run's [`DecisionRecord`] stream as
+//!   JSON Lines — the schema `clustered explain --decisions` and the
+//!   experiment binaries' `--decisions` flags write (documented in
+//!   EXPERIMENTS.md).
 //!
 //! Trace timestamps are **simulated cycles** presented as the format's
 //! microseconds: one trace "µs" is one cycle.
 
 use crate::recording::TimelineEntry;
-use clustered_sim::MetricsObserver;
+use clustered_sim::{DecisionRecord, MetricsObserver};
 use clustered_stats::Json;
 
 /// Renders a recorded timeline as JSON Lines: one object per interval
@@ -44,6 +49,18 @@ pub fn timeline_jsonl(timeline: &[TimelineEntry]) -> String {
     out
 }
 
+/// Renders policy decision records as JSON Lines, one
+/// [`DecisionRecord::to_json`] object per line. Returns the empty
+/// string for an empty trace.
+pub fn decisions_jsonl(decisions: &[DecisionRecord]) -> String {
+    let mut out = String::new();
+    for d in decisions {
+        out.push_str(&d.to_json().to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
 fn duration_event(name: String, ts: u64, dur: u64, tid: u64, args: Json) -> Json {
     Json::object()
         .set("name", name)
@@ -55,12 +72,24 @@ fn duration_event(name: String, ts: u64, dur: u64, tid: u64, args: Json) -> Json
         .set("args", args)
 }
 
+fn counter_event(name: &str, ts: u64, series: &str, value: f64) -> Json {
+    Json::object()
+        .set("name", name)
+        .set("ph", "C")
+        .set("ts", ts)
+        .set("pid", 0u64)
+        .set("args", Json::object().set(series, value))
+}
+
 /// The observer's event log as a Chrome trace-event array.
 ///
 /// Track 0 carries one duration event per active-cluster configuration
 /// span and one instant event per reconfiguration; track 1 carries the
-/// decentralized model's flush stalls. The result serializes to a JSON
-/// array loadable by `chrome://tracing` and Perfetto.
+/// decentralized model's flush stalls. When the observer collected
+/// policy decision records, three counter tracks (`"ph": "C"`) are
+/// appended — `active clusters`, `interval IPC`, and `instability`,
+/// each sampled at every decision point. The result serializes to a
+/// JSON array loadable by `chrome://tracing` and Perfetto.
 pub fn chrome_trace(m: &MetricsObserver) -> Json {
     let mut events: Vec<Json> = Vec::new();
     // Configuration spans: from the run's start through each
@@ -105,6 +134,11 @@ pub fn chrome_trace(m: &MetricsObserver) -> Json {
             1,
             Json::object().set("stall_cycles", f.stall_cycles).set("writebacks", f.writebacks),
         ));
+    }
+    for d in &m.decisions {
+        events.push(counter_event("active clusters", d.cycle, "clusters", d.clusters as f64));
+        events.push(counter_event("interval IPC", d.cycle, "ipc", d.ipc));
+        events.push(counter_event("instability", d.cycle, "instability", d.instability));
     }
     Json::Arr(events)
 }
@@ -185,6 +219,132 @@ mod tests {
         // The whole document must survive a serialize → parse trip.
         let reparsed = json::parse(&trace.to_string_pretty()).expect("valid trace JSON");
         assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn chrome_trace_decision_counters_use_counter_phase_only() {
+        use clustered_sim::{DecisionReason, DecisionRecord, PolicyState};
+        let mut m = observed_run();
+        m.on_decision(&DecisionRecord {
+            interval: 1,
+            commit: 10_000,
+            start_cycle: 1,
+            cycle: 200,
+            state: PolicyState::Exploring,
+            ipc: 0.75,
+            branch_delta: 0,
+            memref_delta: 0,
+            instability: 2.0,
+            explored_ipc: vec![0.75],
+            interval_length: 10_000,
+            clusters: 4,
+            reason: DecisionReason::Exploring,
+        });
+        let trace = chrome_trace(&m);
+        let events = trace.as_arr().expect("trace is an array");
+        // The decision adds exactly three counter samples; the span /
+        // instant / flush population is untouched.
+        let counters: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(events.len(), 7);
+        assert_eq!(counters.len(), 3);
+        let names: Vec<&str> =
+            counters.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+        assert_eq!(names, vec!["active clusters", "interval IPC", "instability"]);
+        for c in &counters {
+            assert_eq!(c.get("ts").and_then(Json::as_f64), Some(200.0));
+        }
+        assert_eq!(
+            counters[0].get("args").and_then(|a| a.get("clusters")).and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(
+            counters[2].get("args").and_then(|a| a.get("instability")).and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_every_event_has_required_keys() {
+        use clustered_sim::{DecisionReason, DecisionRecord, PolicyState};
+        let mut m = observed_run();
+        for i in 1..=3u64 {
+            m.on_decision(&DecisionRecord {
+                interval: i,
+                commit: i * 1_000,
+                start_cycle: (i - 1) * 50,
+                cycle: i * 50,
+                state: PolicyState::Stable,
+                ipc: 0.5,
+                branch_delta: -3,
+                memref_delta: 2,
+                instability: 0.0,
+                explored_ipc: Vec::new(),
+                interval_length: 1_000,
+                clusters: 8,
+                reason: DecisionReason::StableNoChange,
+            });
+        }
+        let trace = chrome_trace(&m);
+        // Round-trip through the clustered_stats parser.
+        let reparsed = json::parse(&trace.to_string_compact()).expect("valid trace JSON");
+        assert_eq!(reparsed, trace);
+        let events = reparsed.as_arr().expect("trace is an array");
+        assert!(events.len() >= 4 + 9, "spans+instant+flush plus 3 counters per decision");
+        for e in events {
+            for key in ["name", "ph", "ts", "pid"] {
+                assert!(e.get(key).is_some(), "event missing {key}: {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_jsonl_renders_one_parseable_line_per_record() {
+        use clustered_sim::{DecisionReason, DecisionRecord, PolicyState};
+        let records = vec![
+            DecisionRecord {
+                interval: 1,
+                commit: 10_000,
+                start_cycle: 0,
+                cycle: 20_000,
+                state: PolicyState::Exploring,
+                ipc: 0.5,
+                branch_delta: 0,
+                memref_delta: 0,
+                instability: 0.0,
+                explored_ipc: vec![0.5],
+                interval_length: 10_000,
+                clusters: 4,
+                reason: DecisionReason::Reference,
+            },
+            DecisionRecord {
+                interval: 2,
+                commit: 20_000,
+                start_cycle: 20_000,
+                cycle: 39_000,
+                state: PolicyState::Stable,
+                ipc: 0.52,
+                branch_delta: -5,
+                memref_delta: 1,
+                instability: 0.0,
+                explored_ipc: Vec::new(),
+                interval_length: 10_000,
+                clusters: 8,
+                reason: DecisionReason::ExplorationComplete,
+            },
+        ];
+        let text = decisions_jsonl(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(lines[0]).expect("valid JSON line");
+        assert_eq!(first.get("reason").and_then(Json::as_str), Some("reference"));
+        assert_eq!(first.get("state").and_then(Json::as_str), Some("exploring"));
+        let second = json::parse(lines[1]).expect("valid JSON line");
+        assert_eq!(second.get("branch_delta").and_then(Json::as_f64), Some(-5.0));
+        assert_eq!(second.get("clusters").and_then(Json::as_u64), Some(8));
+        assert!(decisions_jsonl(&[]).is_empty());
     }
 
     #[test]

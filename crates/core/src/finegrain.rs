@@ -10,7 +10,10 @@
 //! can change behaviour over time (the `gzip` failure mode the paper
 //! discusses).
 
-use clustered_sim::{CommitEvent, ReconfigPolicy};
+use clustered_sim::{
+    CommitEvent, DecisionReason, DecisionRecord, PolicyState, ReconfigPolicy,
+    FIXED_CHECKPOINT_COMMITS,
+};
 use std::collections::VecDeque;
 
 /// What commits count as reconfiguration triggers.
@@ -89,6 +92,10 @@ pub struct FineGrain {
     current: usize,
     /// Total reconfiguration requests issued (for experiment reports).
     requests: u64,
+    decision_index: u64,
+    last_decision_commit: u64,
+    last_decision_cycle: u64,
+    last_decision: Option<DecisionRecord>,
 }
 
 impl FineGrain {
@@ -114,6 +121,10 @@ impl FineGrain {
             last_flush: 0,
             current: cfg.wide,
             requests: 0,
+            decision_index: 0,
+            last_decision_commit: 0,
+            last_decision_cycle: 0,
+            last_decision: None,
             cfg,
         }
     }
@@ -181,6 +192,34 @@ impl FineGrain {
             None
         }
     }
+
+    /// Records one decision covering the span since the previous one.
+    ///
+    /// Fine-grain policies have no evaluation intervals, so the IPC in
+    /// a record is a rolling figure over the commits since the last
+    /// decision (or checkpoint).
+    fn record_decision(&mut self, cycle: u64, state: PolicyState, reason: DecisionReason) {
+        let span_commits = self.committed - self.last_decision_commit;
+        let span_cycles = cycle.saturating_sub(self.last_decision_cycle).max(1);
+        self.decision_index += 1;
+        self.last_decision = Some(DecisionRecord {
+            interval: self.decision_index,
+            commit: self.committed,
+            start_cycle: self.last_decision_cycle,
+            cycle,
+            state,
+            ipc: span_commits as f64 / span_cycles as f64,
+            branch_delta: 0,
+            memref_delta: 0,
+            instability: 0.0,
+            explored_ipc: Vec::new(),
+            interval_length: self.cfg.window as u64,
+            clusters: self.current,
+            reason,
+        });
+        self.last_decision_commit = self.committed;
+        self.last_decision_cycle = cycle;
+    }
 }
 
 impl ReconfigPolicy for FineGrain {
@@ -197,11 +236,15 @@ impl ReconfigPolicy for FineGrain {
 
     fn on_commit(&mut self, event: &CommitEvent) -> Option<usize> {
         self.committed += 1;
+        if self.committed == 1 {
+            self.last_decision_cycle = event.cycle;
+        }
         // The code after a branch can change over a run: rebuild the
         // table periodically.
         if self.committed - self.last_flush >= self.cfg.flush_period {
             self.last_flush = self.committed;
             self.table.fill(INVALID);
+            self.record_decision(event.cycle, PolicyState::Exploring, DecisionReason::TableFlush);
         }
 
         let trigger = self.is_trigger(event);
@@ -223,21 +266,37 @@ impl ReconfigPolicy for FineGrain {
             }
         }
 
-        if !trigger {
-            return None;
+        let mut request = None;
+        if trigger {
+            self.trigger_count += 1;
+            if self.trigger_count.is_multiple_of(self.cfg.every_nth) {
+                let advice = self.advice(event.pc);
+                let choice = advice.unwrap_or(self.cfg.wide);
+                if choice != self.current {
+                    self.current = choice;
+                    self.requests += 1;
+                    let (state, reason) = if advice.is_some() {
+                        (PolicyState::Stable, DecisionReason::TriggerAdvice)
+                    } else {
+                        // Unsampled trigger: run wide to measure it.
+                        (PolicyState::Exploring, DecisionReason::TriggerUnsampled)
+                    };
+                    self.record_decision(event.cycle, state, reason);
+                    request = Some(choice);
+                }
+            }
         }
-        self.trigger_count += 1;
-        if !self.trigger_count.is_multiple_of(self.cfg.every_nth) {
-            return None;
+        // Quiet stretches (no flush, no configuration change) still
+        // checkpoint periodically so the decision timeline covers the
+        // whole run.
+        if self.committed - self.last_decision_commit >= FIXED_CHECKPOINT_COMMITS {
+            self.record_decision(event.cycle, PolicyState::Stable, DecisionReason::Checkpoint);
         }
-        let choice = self.advice(event.pc).unwrap_or(self.cfg.wide);
-        if choice != self.current {
-            self.current = choice;
-            self.requests += 1;
-            Some(choice)
-        } else {
-            None
-        }
+        request
+    }
+
+    fn take_decision(&mut self) -> Option<DecisionRecord> {
+        self.last_decision.take()
     }
 }
 

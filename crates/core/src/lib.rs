@@ -55,6 +55,6 @@ mod recording;
 
 pub use distant::{IntervalDistantIlp, IntervalDistantIlpConfig};
 pub use explore::{IntervalExplore, IntervalExploreConfig};
-pub use export::{chrome_trace, timeline_jsonl};
+pub use export::{chrome_trace, decisions_jsonl, timeline_jsonl};
 pub use finegrain::{FineGrain, FineGrainConfig, Trigger};
 pub use recording::{Recording, TimelineEntry};

@@ -3,7 +3,7 @@
 //! export.
 
 use crate::phase::IntervalRecord;
-use clustered_sim::{CommitEvent, ReconfigPolicy};
+use clustered_sim::{CommitEvent, DecisionRecord, ReconfigPolicy};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -117,6 +117,10 @@ impl<P: ReconfigPolicy> ReconfigPolicy for Recording<P> {
             self.clusters = n;
         }
         request
+    }
+
+    fn take_decision(&mut self) -> Option<DecisionRecord> {
+        self.inner.take_decision()
     }
 }
 

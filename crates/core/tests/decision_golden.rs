@@ -1,0 +1,152 @@
+//! Golden decision-trace test: pins the exact decision sequence
+//! [`IntervalExplore`] emits on a phase-alternating synthetic
+//! workload, and pins the decision-trace JSONL schema those records
+//! serialize to (documented in EXPERIMENTS.md).
+
+use clustered_core::{decisions_jsonl, IntervalExplore, IntervalExploreConfig};
+use clustered_sim::{CommitEvent, DecisionReason, DecisionRecord, PolicyState, ReconfigPolicy};
+use clustered_stats::{json, Json};
+
+fn event(seq: u64, cycle: u64, is_branch: bool, is_memref: bool) -> CommitEvent {
+    CommitEvent {
+        seq,
+        pc: (seq % 64) as u32,
+        cycle,
+        is_branch,
+        is_cond_branch: is_branch,
+        is_call: false,
+        is_return: false,
+        is_memref,
+        distant: false,
+        mispredicted: false,
+    }
+}
+
+/// Drives `intervals` × the policy's interval length of a uniform
+/// synthetic phase (cpi 2, one branch per `branch_every` commits, one
+/// memref per 3), draining every decision the policy records.
+fn drive(
+    policy: &mut IntervalExplore,
+    decisions: &mut Vec<DecisionRecord>,
+    intervals: u64,
+    branch_every: u64,
+    seq: &mut u64,
+) {
+    let n = intervals * policy.interval_length();
+    for _ in 0..n {
+        *seq += 1;
+        let cycle = *seq * 2;
+        let e = event(*seq, cycle, seq.is_multiple_of(branch_every), seq.is_multiple_of(3));
+        policy.on_commit(&e);
+        if let Some(d) = policy.take_decision() {
+            decisions.push(d);
+        }
+    }
+}
+
+fn phase_alternating_trace() -> Vec<DecisionRecord> {
+    let mut p = IntervalExplore::new(IntervalExploreConfig {
+        initial_interval: 1_000,
+        ..Default::default()
+    });
+    let mut decisions = Vec::new();
+    let mut seq = 0u64;
+    // Phase A: 8 uniform intervals — exploration, then steady state.
+    drive(&mut p, &mut decisions, 8, 10, &mut seq);
+    // Phase B: branch density jumps 1/10 → 1/3, a metric phase change;
+    // one further interval becomes the new phase's reference.
+    drive(&mut p, &mut decisions, 2, 3, &mut seq);
+    decisions
+}
+
+#[test]
+fn interval_explore_decision_sequence_is_pinned() {
+    let decisions = phase_alternating_trace();
+    let got: Vec<(DecisionReason, PolicyState, usize)> =
+        decisions.iter().map(|d| (d.reason, d.state, d.clusters)).collect();
+    use DecisionReason as R;
+    use PolicyState as S;
+    assert_eq!(
+        got,
+        vec![
+            // Phase A: the first interval is the reference and doubles
+            // as the first exploration step; the walk then visits each
+            // remaining configuration before settling.
+            (R::Reference, S::Exploring, 4),
+            (R::Exploring, S::Exploring, 8),
+            (R::Exploring, S::Exploring, 16),
+            (R::ExplorationComplete, S::Stable, 2),
+            (R::StableNoChange, S::Stable, 2),
+            (R::StableNoChange, S::Stable, 2),
+            (R::StableNoChange, S::Stable, 2),
+            (R::StableNoChange, S::Stable, 2),
+            // Phase B: branch counts deviate → re-explore from the
+            // smallest configuration; the next interval is the new
+            // phase's reference.
+            (R::PhaseChangeMetrics, S::Exploring, 2),
+            (R::Reference, S::Exploring, 4),
+        ],
+        "decision (reason, state, clusters) sequence changed"
+    );
+
+    // Interval bookkeeping: one decision per 1 000 commits, indexed
+    // from 1, covering contiguous [start_cycle, cycle] spans.
+    for (i, d) in decisions.iter().enumerate() {
+        assert_eq!(d.interval, i as u64 + 1);
+        assert_eq!(d.commit, (i as u64 + 1) * 1_000);
+        assert_eq!(d.interval_length, 1_000);
+        assert!(d.start_cycle < d.cycle, "{d:?}");
+        // cpi-2 stream: every interval measures IPC ≈ 0.5.
+        assert!((d.ipc - 0.5).abs() < 0.01, "interval {}: ipc {}", d.interval, d.ipc);
+    }
+
+    // The explored-IPC table grows one entry per exploration step and
+    // is empty outside exploration.
+    let explored: Vec<usize> = decisions.iter().map(|d| d.explored_ipc.len()).collect();
+    assert_eq!(explored, vec![1, 2, 3, 4, 0, 0, 0, 0, 0, 1]);
+
+    // The phase change carries the metric deltas that tripped the
+    // detector and bumps the instability factor by 2.
+    let change = &decisions[8];
+    assert!(change.branch_delta > 200, "branch delta: {}", change.branch_delta);
+    assert!(change.memref_delta.abs() <= 2, "memref delta: {}", change.memref_delta);
+    assert_eq!(change.instability, 2.0);
+    // Steady-state intervals carry no instability.
+    assert_eq!(decisions[7].instability, 0.0);
+}
+
+#[test]
+fn decision_jsonl_schema_is_pinned() {
+    let decisions = phase_alternating_trace();
+    let text = decisions_jsonl(&decisions);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), decisions.len());
+    for line in &lines {
+        let parsed = json::parse(line).expect("every decision line parses");
+        assert_eq!(
+            parsed.keys().unwrap(),
+            vec![
+                "interval",
+                "commit",
+                "start_cycle",
+                "cycle",
+                "state",
+                "ipc",
+                "branch_delta",
+                "memref_delta",
+                "instability",
+                "explored_ipc",
+                "interval_length",
+                "clusters",
+                "reason"
+            ],
+            "decision JSONL schema changed — update EXPERIMENTS.md and this golden test"
+        );
+    }
+    let first = json::parse(lines[0]).unwrap();
+    assert_eq!(first.get("reason").and_then(Json::as_str), Some("reference"));
+    assert_eq!(first.get("interval").and_then(Json::as_u64), Some(1));
+    let change = json::parse(lines[8]).unwrap();
+    assert_eq!(change.get("reason").and_then(Json::as_str), Some("phase-change-metrics"));
+    assert_eq!(change.get("instability").and_then(Json::as_f64), Some(2.0));
+}

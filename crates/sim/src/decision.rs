@@ -1,0 +1,284 @@
+//! Decision telemetry: what a reconfiguration policy decided and why.
+//!
+//! The paper's contribution is the *run-time decision algorithm* (§4):
+//! interval exploration, instability detection, interval-length
+//! adaptation, and fine-grain triggers. A [`DecisionRecord`] is one
+//! entry of that algorithm's own log — emitted at each evaluation point
+//! through [`ReconfigPolicy::take_decision`](crate::ReconfigPolicy::take_decision)
+//! and delivered to observers via
+//! [`SimObserver::on_decision`](crate::SimObserver::on_decision).
+//!
+//! Records are drained by the simulator only when the observer opts in
+//! (`SimObserver::WANTS_DECISIONS`), so the default
+//! [`NullObserver`](crate::NullObserver) pays nothing and policies stay
+//! bounded: they keep at most one undrained record.
+
+use clustered_stats::Json;
+
+/// The coarse state a policy is in when it makes a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyState {
+    /// Measuring candidate configurations (paper Figure 4's
+    /// exploration phase, or a distant-ILP probe interval).
+    Exploring,
+    /// Locked onto a chosen configuration.
+    Stable,
+    /// Reconfiguration permanently disabled after persistent
+    /// instability (paper §4.2: pinned to the most popular
+    /// configuration).
+    Discontinued,
+    /// Warm-up intervals whose statistics are discarded.
+    Cooldown,
+}
+
+impl PolicyState {
+    /// The stable lower-case label used in JSONL output and the
+    /// `clustered explain` timeline.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicyState::Exploring => "exploring",
+            PolicyState::Stable => "stable",
+            PolicyState::Discontinued => "discontinued",
+            PolicyState::Cooldown => "cooldown",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a policy chose the configuration in a [`DecisionRecord`].
+///
+/// One shared discriminant across all policy families keeps the JSONL
+/// schema uniform; each family uses the subset that applies to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionReason {
+    /// A fixed baseline policy: the configuration never changes and
+    /// records are periodic checkpoints.
+    FixedBaseline,
+    /// Periodic checkpoint of a policy that made no decision this
+    /// interval (fine-grain policies between triggers).
+    Checkpoint,
+    /// First measured interval: establishes the reference statistics.
+    Reference,
+    /// Mid-exploration: this interval measured one candidate
+    /// configuration and moved on to the next.
+    Exploring,
+    /// Exploration finished; the best-IPC configuration was selected.
+    ExplorationComplete,
+    /// Interval statistics matched the reference; the configuration
+    /// was kept.
+    StableNoChange,
+    /// Branch/memref counts deviated from the reference beyond the
+    /// noise threshold; exploration restarts (paper Figure 4).
+    PhaseChangeMetrics,
+    /// Interval IPC deviated from the reference beyond the noise
+    /// threshold; exploration restarts.
+    PhaseChangeIpc,
+    /// Instability crossed the threshold and the interval length was
+    /// doubled before re-exploring (paper §4.2).
+    IntervalDoubled,
+    /// Instability persisted past the maximum interval length:
+    /// reconfiguration is discontinued at the most popular
+    /// configuration.
+    Discontinued,
+    /// The macrophase timer expired and the algorithm reset to its
+    /// initial interval length.
+    MacrophaseReset,
+    /// A start-up interval whose statistics were discarded
+    /// (distant-ILP policy warm-up).
+    StartupSkip,
+    /// A distant-ILP probe interval concluded and picked wide or
+    /// narrow from the measured distant-issue count (paper §4.3).
+    ProbeResult,
+    /// A fine-grain trigger hit a table entry with recorded advice
+    /// (paper §4.4).
+    TriggerAdvice,
+    /// A fine-grain trigger missed the table; the policy went wide to
+    /// gather a sample.
+    TriggerUnsampled,
+    /// The fine-grain advice table was flushed for re-learning.
+    TableFlush,
+}
+
+impl DecisionReason {
+    /// The stable kebab-case label used in JSONL output and the
+    /// `clustered explain` timeline.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionReason::FixedBaseline => "fixed-baseline",
+            DecisionReason::Checkpoint => "checkpoint",
+            DecisionReason::Reference => "reference",
+            DecisionReason::Exploring => "exploring",
+            DecisionReason::ExplorationComplete => "exploration-complete",
+            DecisionReason::StableNoChange => "stable-no-change",
+            DecisionReason::PhaseChangeMetrics => "phase-change-metrics",
+            DecisionReason::PhaseChangeIpc => "phase-change-ipc",
+            DecisionReason::IntervalDoubled => "interval-doubled",
+            DecisionReason::Discontinued => "discontinued",
+            DecisionReason::MacrophaseReset => "macrophase-reset",
+            DecisionReason::StartupSkip => "startup-skip",
+            DecisionReason::ProbeResult => "probe-result",
+            DecisionReason::TriggerAdvice => "trigger-advice",
+            DecisionReason::TriggerUnsampled => "trigger-unsampled",
+            DecisionReason::TableFlush => "table-flush",
+        }
+    }
+}
+
+impl std::fmt::Display for DecisionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One policy decision: the state of the run-time algorithm at one
+/// evaluation point, and the configuration it chose.
+///
+/// Every field is always present (empty/zero where a family has no
+/// such concept) so the JSONL schema is uniform across policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Decision index, counting from 1 within the run.
+    pub interval: u64,
+    /// Committed-instruction count (policy-local) at the decision.
+    pub commit: u64,
+    /// Cycle of the first commit covered by this decision's interval.
+    pub start_cycle: u64,
+    /// Cycle of the commit that triggered the decision.
+    pub cycle: u64,
+    /// The algorithm's state after the decision.
+    pub state: PolicyState,
+    /// IPC measured over the interval ending here.
+    pub ipc: f64,
+    /// Branch-count delta vs. the interval the policy compares
+    /// against (reference interval; zero where not applicable).
+    pub branch_delta: i64,
+    /// Memory-reference-count delta vs. the comparison interval.
+    pub memref_delta: i64,
+    /// The instability factor after the decision (paper §4.2; zero
+    /// for families without one).
+    pub instability: f64,
+    /// The per-configuration IPC table accumulated so far, in
+    /// exploration order; empty outside exploration.
+    pub explored_ipc: Vec<f64>,
+    /// The policy's current evaluation-interval length, in committed
+    /// instructions.
+    pub interval_length: u64,
+    /// The active-cluster count chosen by this decision.
+    pub clusters: usize,
+    /// Why the policy chose it.
+    pub reason: DecisionReason,
+}
+
+impl DecisionRecord {
+    /// The record as one JSON object — one line of the decision-trace
+    /// JSONL schema documented in EXPERIMENTS.md.
+    pub fn to_json(&self) -> Json {
+        let explored: Vec<Json> = self.explored_ipc.iter().map(|&v| Json::from(v)).collect();
+        Json::object()
+            .set("interval", self.interval)
+            .set("commit", self.commit)
+            .set("start_cycle", self.start_cycle)
+            .set("cycle", self.cycle)
+            .set("state", self.state.as_str())
+            .set("ipc", self.ipc)
+            .set("branch_delta", self.branch_delta as f64)
+            .set("memref_delta", self.memref_delta as f64)
+            .set("instability", self.instability)
+            .set("explored_ipc", Json::Arr(explored))
+            .set("interval_length", self.interval_length)
+            .set("clusters", self.clusters)
+            .set("reason", self.reason.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionRecord {
+        DecisionRecord {
+            interval: 3,
+            commit: 30_000,
+            start_cycle: 41_000,
+            cycle: 62_000,
+            state: PolicyState::Exploring,
+            ipc: 1.25,
+            branch_delta: -12,
+            memref_delta: 4,
+            instability: 2.0,
+            explored_ipc: vec![1.1, 1.25],
+            interval_length: 10_000,
+            clusters: 8,
+            reason: DecisionReason::Exploring,
+        }
+    }
+
+    #[test]
+    fn record_json_has_the_documented_keys_in_order() {
+        let j = sample().to_json();
+        assert_eq!(
+            j.keys().unwrap(),
+            vec![
+                "interval",
+                "commit",
+                "start_cycle",
+                "cycle",
+                "state",
+                "ipc",
+                "branch_delta",
+                "memref_delta",
+                "instability",
+                "explored_ipc",
+                "interval_length",
+                "clusters",
+                "reason"
+            ]
+        );
+        assert_eq!(j.get("state").unwrap().as_str(), Some("exploring"));
+        assert_eq!(j.get("reason").unwrap().as_str(), Some("exploring"));
+        assert_eq!(j.get("clusters").unwrap().as_u64(), Some(8));
+        assert_eq!(j.get("explored_ipc").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn labels_are_stable_kebab_case() {
+        assert_eq!(PolicyState::Cooldown.as_str(), "cooldown");
+        assert_eq!(DecisionReason::ExplorationComplete.to_string(), "exploration-complete");
+        assert_eq!(DecisionReason::PhaseChangeMetrics.to_string(), "phase-change-metrics");
+        for reason in [
+            DecisionReason::FixedBaseline,
+            DecisionReason::Checkpoint,
+            DecisionReason::Reference,
+            DecisionReason::Exploring,
+            DecisionReason::ExplorationComplete,
+            DecisionReason::StableNoChange,
+            DecisionReason::PhaseChangeMetrics,
+            DecisionReason::PhaseChangeIpc,
+            DecisionReason::IntervalDoubled,
+            DecisionReason::Discontinued,
+            DecisionReason::MacrophaseReset,
+            DecisionReason::StartupSkip,
+            DecisionReason::ProbeResult,
+            DecisionReason::TriggerAdvice,
+            DecisionReason::TriggerUnsampled,
+            DecisionReason::TableFlush,
+        ] {
+            let label = reason.as_str();
+            assert!(!label.is_empty());
+            assert!(label.chars().all(|c| c.is_ascii_lowercase() || c == '-'), "{label}");
+        }
+    }
+
+    #[test]
+    fn negative_deltas_survive_the_json_round_trip() {
+        let text = sample().to_json().to_string_compact();
+        let parsed = clustered_stats::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("branch_delta").unwrap().as_f64(), Some(-12.0));
+        assert_eq!(parsed.get("interval_length").unwrap().as_u64(), Some(10_000));
+    }
+}

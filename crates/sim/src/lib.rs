@@ -53,6 +53,7 @@ mod cache;
 mod cluster;
 mod config;
 mod crit;
+mod decision;
 mod energy;
 mod interconnect;
 mod lsq;
@@ -68,6 +69,7 @@ pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{ArrayAccess, CacheArray, MemHierarchy};
 pub use cluster::{latency_of, Cluster, Domain, FuGroup};
 pub use crit::CriticalityPredictor;
+pub use decision::{DecisionReason, DecisionRecord, PolicyState};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyParams};
 pub use config::{
     BankPredParams, BpredParams, CacheModel, CacheParams, ClusterParams, ConfigError,
@@ -77,11 +79,13 @@ pub use config::{
 pub use interconnect::Interconnect;
 pub use lsq::LsqSlice;
 pub use observe::{
-    FlushEvent, IpcSample, MetricsObserver, NullObserver, ReconfigEvent, SimObserver,
-    TransferKind,
+    DecisionTrace, FlushEvent, IpcSample, MetricsObserver, NullObserver, ReconfigEvent,
+    SimObserver, TransferKind, DEFAULT_EVENT_CAP,
 };
 pub use pipeline::{OccupancySnapshot, Processor, SimError};
-pub use reconfig::{CommitEvent, FixedPolicy, ReconfigPolicy, DISTANT_DEPTH};
+pub use reconfig::{
+    CommitEvent, FixedPolicy, ReconfigPolicy, DISTANT_DEPTH, FIXED_CHECKPOINT_COMMITS,
+};
 pub use slots::SlotReservations;
 pub use stats::SimStats;
 pub use steer::{SteerRequest, Steering, SteeringKind};

@@ -15,8 +15,18 @@
 //! per-interval IPC timeline, and the reconfiguration event log the
 //! Chrome-trace exporter consumes.
 
+use crate::decision::DecisionRecord;
 use crate::reconfig::CommitEvent;
 use clustered_stats::{Histogram, Json};
+
+/// Default cap on the per-run reconfiguration and decision event logs
+/// kept by [`MetricsObserver`] and [`DecisionTrace`].
+///
+/// Fine-grain policies can reconfigure at every branch, so unbounded
+/// logs would grow with run length; past the cap the first
+/// `DEFAULT_EVENT_CAP` events are kept and the rest only counted
+/// (`dropped_reconfigs` / `dropped_decisions`).
+pub const DEFAULT_EVENT_CAP: usize = 65_536;
 
 /// What moved across the interconnect in an
 /// [`on_transfer`](SimObserver::on_transfer) event.
@@ -37,6 +47,17 @@ pub enum TransferKind {
 /// call; events scheduled for the future (e.g. a transfer's arrival)
 /// report their *initiation* cycle.
 pub trait SimObserver {
+    /// Whether the simulator should drain policy decision telemetry
+    /// for this observer.
+    ///
+    /// Assembling a [`DecisionRecord`] costs a heap allocation per
+    /// interval, so the pipeline polls
+    /// [`ReconfigPolicy::take_decision`](crate::ReconfigPolicy::take_decision)
+    /// only when this is `true`. The default `false` (kept by
+    /// [`NullObserver`]) lets the whole drain monomorphize away,
+    /// preserving the bit-identical zero-cost property.
+    const WANTS_DECISIONS: bool = false;
+
     /// End of one simulated cycle.
     #[inline(always)]
     fn on_cycle(&mut self, cycle: u64, active_clusters: usize, rob_occupancy: usize) {
@@ -87,6 +108,15 @@ pub trait SimObserver {
     #[inline(always)]
     fn on_flush_stall(&mut self, cycle: u64, stall_cycles: u64, writebacks: u64) {
         let _ = (cycle, stall_cycles, writebacks);
+    }
+
+    /// The reconfiguration policy recorded a decision: why it chose
+    /// the current configuration at the end of an evaluation interval.
+    ///
+    /// Only delivered when [`Self::WANTS_DECISIONS`] is `true`.
+    #[inline(always)]
+    fn on_decision(&mut self, decision: &DecisionRecord) {
+        let _ = decision;
     }
 }
 
@@ -143,10 +173,15 @@ pub struct MetricsObserver {
     pub cache_transfer_hops: Histogram,
     /// Latency (initiation → data ready) of every cache access.
     pub cache_latency: Histogram,
-    /// Every active-cluster change, in cycle order.
+    /// Active-cluster changes in cycle order, capped at
+    /// `reconfig_cap` (first events kept; see
+    /// [`dropped_reconfigs`](MetricsObserver::dropped_reconfigs)).
     pub reconfigs: Vec<ReconfigEvent>,
     /// Every reconfiguration flush, in cycle order.
     pub flushes: Vec<FlushEvent>,
+    /// Policy decision records in commit order, capped at
+    /// `decision_cap` (first records kept).
+    pub decisions: Vec<DecisionRecord>,
     /// IPC timeline, one sample per `interval_cycles`.
     pub timeline: Vec<IpcSample>,
     /// Active clusters before the first event (set on the first cycle).
@@ -157,6 +192,10 @@ pub struct MetricsObserver {
     committed_at_sample: u64,
     instructions_dispatched: u64,
     instructions_issued: u64,
+    reconfig_cap: usize,
+    decision_cap: usize,
+    dropped_reconfigs: u64,
+    dropped_decisions: u64,
 }
 
 impl MetricsObserver {
@@ -166,6 +205,21 @@ impl MetricsObserver {
     ///
     /// Panics if `interval_cycles` is zero.
     pub fn new(interval_cycles: u64) -> MetricsObserver {
+        MetricsObserver::with_caps(interval_cycles, DEFAULT_EVENT_CAP, DEFAULT_EVENT_CAP)
+    }
+
+    /// Like [`MetricsObserver::new`] but with explicit caps on the
+    /// reconfiguration and decision event logs. Events past a cap are
+    /// counted, not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_cycles` is zero.
+    pub fn with_caps(
+        interval_cycles: u64,
+        reconfig_cap: usize,
+        decision_cap: usize,
+    ) -> MetricsObserver {
         assert!(interval_cycles > 0, "interval must be non-zero");
         MetricsObserver {
             interval_cycles,
@@ -177,6 +231,7 @@ impl MetricsObserver {
             cache_latency: Histogram::log2(),
             reconfigs: Vec::new(),
             flushes: Vec::new(),
+            decisions: Vec::new(),
             timeline: Vec::new(),
             initial_clusters: 0,
             last_cycle: 0,
@@ -184,7 +239,21 @@ impl MetricsObserver {
             committed_at_sample: 0,
             instructions_dispatched: 0,
             instructions_issued: 0,
+            reconfig_cap,
+            decision_cap,
+            dropped_reconfigs: 0,
+            dropped_decisions: 0,
         }
+    }
+
+    /// Reconfiguration events dropped after the log reached its cap.
+    pub fn dropped_reconfigs(&self) -> u64 {
+        self.dropped_reconfigs
+    }
+
+    /// Decision records dropped after the log reached its cap.
+    pub fn dropped_decisions(&self) -> u64 {
+        self.dropped_decisions
     }
 
     /// Instructions seen committing.
@@ -232,6 +301,7 @@ impl MetricsObserver {
                     .set("active_clusters", s.active_clusters)
             })
             .collect();
+        let decisions: Vec<Json> = self.decisions.iter().map(|d| d.to_json()).collect();
         Json::object()
             .set("interval_cycles", self.interval_cycles)
             .set("last_cycle", self.last_cycle)
@@ -244,12 +314,17 @@ impl MetricsObserver {
             .set("cache_transfer_hops", self.cache_transfer_hops.to_json())
             .set("cache_latency", self.cache_latency.to_json())
             .set("reconfigurations", Json::Arr(reconfigs))
+            .set("dropped_reconfigs", self.dropped_reconfigs)
             .set("flushes", Json::Arr(flushes))
+            .set("decisions", Json::Arr(decisions))
+            .set("dropped_decisions", self.dropped_decisions)
             .set("timeline", Json::Arr(timeline))
     }
 }
 
 impl SimObserver for MetricsObserver {
+    const WANTS_DECISIONS: bool = true;
+
     fn on_cycle(&mut self, cycle: u64, active_clusters: usize, rob_occupancy: usize) {
         if self.initial_clusters == 0 {
             self.initial_clusters = active_clusters;
@@ -290,17 +365,104 @@ impl SimObserver for MetricsObserver {
     }
 
     fn on_reconfig(&mut self, cycle: u64, from: usize, to: usize) {
-        self.reconfigs.push(ReconfigEvent { cycle, from, to });
+        if self.reconfigs.len() < self.reconfig_cap {
+            self.reconfigs.push(ReconfigEvent { cycle, from, to });
+        } else {
+            self.dropped_reconfigs += 1;
+        }
     }
 
     fn on_flush_stall(&mut self, cycle: u64, stall_cycles: u64, writebacks: u64) {
         self.flushes.push(FlushEvent { cycle, stall_cycles, writebacks });
+    }
+
+    fn on_decision(&mut self, decision: &DecisionRecord) {
+        if self.decisions.len() < self.decision_cap {
+            self.decisions.push(decision.clone());
+        } else {
+            self.dropped_decisions += 1;
+        }
+    }
+}
+
+/// A lightweight observer collecting only policy decision records —
+/// the backing store for `clustered explain` and the `--decisions`
+/// dumps, where the full [`MetricsObserver`] histogram machinery is
+/// unnecessary overhead.
+#[derive(Debug, Clone)]
+pub struct DecisionTrace {
+    decisions: Vec<DecisionRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for DecisionTrace {
+    fn default() -> DecisionTrace {
+        DecisionTrace::new()
+    }
+}
+
+impl DecisionTrace {
+    /// A trace keeping the first [`DEFAULT_EVENT_CAP`] records.
+    pub fn new() -> DecisionTrace {
+        DecisionTrace::with_cap(DEFAULT_EVENT_CAP)
+    }
+
+    /// A trace keeping the first `cap` records and counting the rest.
+    pub fn with_cap(cap: usize) -> DecisionTrace {
+        DecisionTrace { decisions: Vec::new(), cap, dropped: 0 }
+    }
+
+    /// The collected records, in commit order.
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        &self.decisions
+    }
+
+    /// Records dropped after the trace reached its cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the trace, returning `(records, dropped_count)`.
+    pub fn into_decisions(self) -> (Vec<DecisionRecord>, u64) {
+        (self.decisions, self.dropped)
+    }
+}
+
+impl SimObserver for DecisionTrace {
+    const WANTS_DECISIONS: bool = true;
+
+    fn on_decision(&mut self, decision: &DecisionRecord) {
+        if self.decisions.len() < self.cap {
+            self.decisions.push(decision.clone());
+        } else {
+            self.dropped += 1;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decision::{DecisionReason, PolicyState};
+
+    fn decision(interval: u64) -> DecisionRecord {
+        DecisionRecord {
+            interval,
+            commit: interval * 1000,
+            start_cycle: 0,
+            cycle: interval * 2000,
+            state: PolicyState::Stable,
+            ipc: 0.5,
+            branch_delta: 0,
+            memref_delta: 0,
+            instability: 0.0,
+            explored_ipc: Vec::new(),
+            interval_length: 1000,
+            clusters: 4,
+            reason: DecisionReason::StableNoChange,
+        }
+    }
 
     fn commit_event(seq: u64, cycle: u64) -> CommitEvent {
         CommitEvent {
@@ -391,10 +553,56 @@ mod tests {
                 "cache_transfer_hops",
                 "cache_latency",
                 "reconfigurations",
+                "dropped_reconfigs",
                 "flushes",
+                "decisions",
+                "dropped_decisions",
                 "timeline"
             ]
         );
+    }
+
+    #[test]
+    fn reconfig_log_caps_and_counts_the_overflow() {
+        let mut m = MetricsObserver::with_caps(100, 3, 3);
+        for i in 0..10u64 {
+            m.on_reconfig(i, 4, 8);
+        }
+        assert_eq!(m.reconfigs.len(), 3, "first N kept");
+        assert_eq!(m.dropped_reconfigs(), 7);
+        assert_eq!(m.reconfigs[0].cycle, 0);
+        assert_eq!(m.reconfigs[2].cycle, 2);
+        let j = m.to_json();
+        assert_eq!(j.get("dropped_reconfigs").unwrap().as_u64(), Some(7));
+        assert_eq!(j.get("reconfigurations").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn decision_log_caps_and_counts_the_overflow() {
+        let mut m = MetricsObserver::with_caps(100, 3, 2);
+        for i in 1..=5u64 {
+            m.on_decision(&decision(i));
+        }
+        assert_eq!(m.decisions.len(), 2);
+        assert_eq!(m.dropped_decisions(), 3);
+        let j = m.to_json();
+        assert_eq!(j.get("decisions").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(j.get("dropped_decisions").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn decision_trace_collects_in_order_and_caps() {
+        let mut t = DecisionTrace::with_cap(2);
+        for i in 1..=4u64 {
+            t.on_decision(&decision(i));
+        }
+        assert_eq!(t.decisions().len(), 2);
+        assert_eq!(t.decisions()[0].interval, 1);
+        assert_eq!(t.decisions()[1].interval, 2);
+        assert_eq!(t.dropped(), 2);
+        let (records, dropped) = t.into_decisions();
+        assert_eq!((records.len(), dropped), (2, 2));
+        assert!(DecisionTrace::default().decisions().is_empty());
     }
 
     #[test]

@@ -805,6 +805,14 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
         if let Some(request) = self.policy.on_commit(&event) {
             self.reconfig_request = Some(request);
         }
+        // Decision telemetry is drained only for observers that opt
+        // in; the branch is a compile-time constant, so NullObserver
+        // runs carry no polling at all.
+        if O::WANTS_DECISIONS {
+            if let Some(decision) = self.policy.take_decision() {
+                self.observer.on_decision(&decision);
+            }
+        }
     }
 
     fn take_policy_request(&mut self) {

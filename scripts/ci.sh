@@ -31,6 +31,20 @@ CLUSTERED_TRACE_CACHE="$CACHE_TMP/traces" CLUSTERED_MEASURE=20000 CLUSTERED_WARM
     ./target/release/fig3 > "$CACHE_TMP/warm.txt"
 cmp "$CACHE_TMP/cold.txt" "$CACHE_TMP/warm.txt"
 
+echo "==> explain smoke (decision telemetry end to end)"
+# One short run per policy family plus a JSONL dump: `explain` must
+# render a timeline and the dump must be non-empty.
+for policy in explore distant branch; do
+    ./target/release/clustered explain --workload gzip --policy "$policy" \
+        --warmup 2000 --instructions 25000 --limit 5 \
+        --decisions "$CACHE_TMP/$policy.jsonl" > "$CACHE_TMP/$policy.txt"
+    grep -q "decision timeline" "$CACHE_TMP/$policy.txt"
+    test -s "$CACHE_TMP/$policy.jsonl"
+done
+
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo clippy --workspace -- -D warnings"
 # Clippy is optional on machines without the component (it ships with
 # rustup's default profile; minimal installs may lack it).

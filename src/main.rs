@@ -17,11 +17,13 @@ use clustered::policies::phase::{
     instability_factor, MetricsRecorder, StabilityThresholds,
 };
 use clustered::policies::{
-    chrome_trace, timeline_jsonl, FineGrain, IntervalDistantIlp, IntervalExplore, Recording,
+    chrome_trace, decisions_jsonl, timeline_jsonl, FineGrain, IntervalDistantIlp, IntervalExplore,
+    Recording,
 };
 use clustered::sim::{
-    estimate_energy, CacheModel, EnergyParams, FixedPolicy, MetricsObserver, Processor,
-    ReconfigPolicy, SimConfig, SteeringKind, Topology,
+    estimate_energy, CacheModel, DecisionReason, DecisionRecord, DecisionTrace, EnergyParams,
+    FixedPolicy, MetricsObserver, PolicyState, Processor, ReconfigPolicy, SimConfig, SteeringKind,
+    Topology,
 };
 use clustered::stats::Json;
 use clustered::{emu, isa, workloads};
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
             Some("info") => cmd_trace_info(&args[2..]),
             _ => cmd_trace(&args[1..]),
         },
+        Some("explain") => cmd_explain(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
         Some("phases") => cmd_phases(&args[1..]),
@@ -67,6 +70,9 @@ impl ReconfigPolicy for BoxedPolicy {
     fn on_commit(&mut self, event: &clustered::sim::CommitEvent) -> Option<usize> {
         self.0.on_commit(event)
     }
+    fn take_decision(&mut self) -> Option<DecisionRecord> {
+        self.0.take_decision()
+    }
 }
 
 const USAGE: &str = "\
@@ -92,6 +98,16 @@ USAGE:
                                 `run --from-trace` replays without re-emulating
   clustered trace info FILE.ctrace
                                 validate a .ctrace file and print its header
+  clustered explain [--workload NAME | --program FILE.s]
+                [--policy fixed|explore|distant|branch|subroutine]
+                [--clusters N] [--instructions N] [--warmup N]
+                [--decentralized] [--grid] [--monolithic]
+                [--limit N]       timeline rows to print (default 40)
+                [--decisions FILE.jsonl]
+                                render the policy's decision timeline and
+                                summary statistics (time per state, reconfig
+                                rate, interval-length histogram) and, with
+                                --decisions, dump the raw JSONL trace
   clustered asm FILE.s          assemble a program and report on it
   clustered workloads           list built-in workloads
   clustered phases --workload NAME [--instructions N]
@@ -468,6 +484,151 @@ fn cmd_trace_info(args: &[String]) -> Result<(), String> {
     println!("program text        {} instructions", trace.program().text().len());
     println!("complete execution  {}", if trace.ended_at_halt() { "yes (ended at halt)" } else { "no (window capture)" });
     println!("replay buffer       {} bytes", trace.buffer_bytes());
+    Ok(())
+}
+
+const EXPLAIN_FLAGS: &[&str] = &[
+    "workload",
+    "program",
+    "policy",
+    "clusters",
+    "instructions",
+    "warmup",
+    "decentralized",
+    "grid",
+    "monolithic",
+    "decisions",
+    "limit",
+];
+
+/// Per-state commit attribution: each decision's state owns the span
+/// of commits since the previous decision; the tail after the last
+/// decision stays with the last state.
+fn commits_per_state(decisions: &[DecisionRecord], total_committed: u64) -> Vec<(PolicyState, u64)> {
+    let mut spans: Vec<(PolicyState, u64)> = Vec::new();
+    let mut add = |state: PolicyState, commits: u64| {
+        if commits == 0 {
+            return;
+        }
+        match spans.iter_mut().find(|(s, _)| *s == state) {
+            Some((_, n)) => *n += commits,
+            None => spans.push((state, commits)),
+        }
+    };
+    let mut prev = 0u64;
+    for d in decisions {
+        add(d.state, d.commit.saturating_sub(prev));
+        prev = prev.max(d.commit);
+    }
+    if let Some(last) = decisions.last() {
+        add(last.state, total_committed.saturating_sub(prev.min(total_committed)));
+    }
+    spans.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    spans
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, EXPLAIN_FLAGS)?;
+    let workload = load_workload(&flags)?;
+    let cfg = build_config(&flags)?;
+    let policy = build_policy(&flags, &cfg)?;
+    let policy_name = policy.name();
+    let instructions = flags.get_u64("instructions", 500_000)?;
+    let warmup = flags.get_u64("warmup", 50_000)?;
+    let limit = flags.get_u64("limit", 40)? as usize;
+
+    // Like `trace`, the timeline covers the whole execution including
+    // the warm-up: policy decisions start at cycle 0 and a timeline
+    // with a hole at the front is more confusing than a marked one.
+    let trace = workloads::capture_for_window_cached(
+        &workload,
+        warmup,
+        instructions,
+        workloads::env_cache_dir().as_deref(),
+    );
+    let stream = trace.replay();
+    let mut cpu =
+        Processor::with_observer(cfg, stream, policy, SteeringKind::default(), DecisionTrace::new())
+            .map_err(|e| e.to_string())?;
+    cpu.run(warmup + instructions).map_err(|e| e.to_string())?;
+    let s = *cpu.stats();
+    let (decisions, dropped) = cpu.observer().clone().into_decisions();
+
+    println!("workload            {}", workload.name());
+    println!("policy              {policy_name}");
+    println!("instructions        {} ({} warm-up included)", s.committed, warmup);
+    println!("cycles              {}", s.cycles);
+    println!("IPC                 {:.3}", s.ipc());
+    println!();
+
+    if decisions.is_empty() {
+        println!("decision timeline: empty — no decision points inside this run");
+        println!("(checkpoint policies record every 10k commits; try more --instructions)");
+        println!("\nsummary: 0 decisions, {} reconfigurations", s.reconfigurations);
+        return Ok(());
+    }
+
+    let shown = decisions.len().min(limit.max(1));
+    println!("decision timeline ({shown} of {} decisions):", decisions.len());
+    println!(
+        "{:>6} {:>10} {:>11} {:>8} {:>4}  {:<12} {:>6} {:>7}  reason",
+        "ivl", "commit", "cycle", "len", "clu", "state", "ipc", "instab"
+    );
+    for d in &decisions[..shown] {
+        println!(
+            "{:>6} {:>10} {:>11} {:>8} {:>4}  {:<12} {:>6.3} {:>7.1}  {}",
+            d.interval,
+            d.commit,
+            d.cycle,
+            d.interval_length,
+            d.clusters,
+            d.state.as_str(),
+            d.ipc,
+            d.instability,
+            d.reason.as_str()
+        );
+    }
+    if shown < decisions.len() {
+        println!("… {} more decisions (raise --limit)", decisions.len() - shown);
+    }
+
+    println!("\nsummary:");
+    println!(
+        "  decisions           {}{}",
+        decisions.len(),
+        if dropped > 0 { format!(" (+{dropped} dropped past the cap)") } else { String::new() }
+    );
+    for (state, commits) in commits_per_state(&decisions, s.committed) {
+        println!(
+            "  {:<19} {:>5.1}% of commits",
+            state.as_str(),
+            100.0 * commits as f64 / s.committed.max(1) as f64
+        );
+    }
+    println!(
+        "  reconfigurations    {} ({:.2} per 10k commits)",
+        s.reconfigurations,
+        s.reconfigurations as f64 * 10_000.0 / s.committed.max(1) as f64
+    );
+    let mut lengths = std::collections::BTreeMap::new();
+    for d in &decisions {
+        *lengths.entry(d.interval_length).or_insert(0usize) += 1;
+    }
+    let hist: Vec<String> =
+        lengths.iter().map(|(len, n)| format!("{len}\u{00d7}{n}")).collect();
+    println!("  interval lengths    {}", hist.join("  "));
+    if let Some(d) = decisions.iter().find(|d| d.reason == DecisionReason::Discontinued) {
+        println!(
+            "  discontinued        at interval {} (commit {}): pinned to {} clusters",
+            d.interval, d.commit, d.clusters
+        );
+    }
+
+    if let Some(path) = flags.get("decisions") {
+        std::fs::write(path, decisions_jsonl(&decisions))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("  trace               {path} ({} lines)", decisions.len());
+    }
     Ok(())
 }
 

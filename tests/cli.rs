@@ -269,6 +269,76 @@ fn trace_writes_chrome_trace_and_jsonl_events() {
 }
 
 #[test]
+fn explain_renders_a_timeline_for_every_policy_family() {
+    // 25k instructions cross the 10k-commit checkpoint cadence of the
+    // fixed and fine-grain policies, so every family has decisions.
+    for policy in ["fixed", "explore", "distant", "branch", "subroutine"] {
+        let mut args = vec![
+            "explain",
+            "--workload",
+            "gzip",
+            "--policy",
+            policy,
+            "--warmup",
+            "2000",
+            "--instructions",
+            "25000",
+        ];
+        if policy == "fixed" {
+            args.extend(["--clusters", "4"]);
+        }
+        let out = clustered(&args);
+        assert!(out.status.success(), "policy {policy}: stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("decision timeline ("), "policy {policy} must render a timeline");
+        assert!(text.contains("summary:"), "policy {policy} must render the summary");
+        assert!(text.contains("reconfigurations"), "policy {policy}: {text}");
+        assert!(text.contains("interval lengths"), "policy {policy}: {text}");
+    }
+}
+
+#[test]
+fn explain_limit_truncates_and_decisions_flag_dumps_parseable_jsonl() {
+    let dir = std::env::temp_dir().join("clustered_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("decisions.jsonl");
+    let out = clustered(&[
+        "explain",
+        "--workload",
+        "swim",
+        "--policy",
+        "distant",
+        "--warmup",
+        "2000",
+        "--instructions",
+        "30000",
+        "--limit",
+        "5",
+        "--decisions",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("decision timeline (5 of "), "limit caps the rows: {text}");
+    assert!(text.contains("more decisions (raise --limit)"), "{text}");
+
+    use clustered::stats::Json;
+    let jsonl = std::fs::read_to_string(&path).expect("decision trace written");
+    assert!(jsonl.lines().count() > 5, "the dump holds every decision, not just shown rows");
+    for line in jsonl.lines() {
+        let d = clustered::stats::json::parse(line).expect("each line is valid JSON");
+        for key in ["interval", "commit", "cycle", "state", "ipc", "clusters", "reason"] {
+            assert!(d.get(key).is_some(), "decision line missing `{key}`: {line}");
+        }
+        let state = d.get("state").and_then(Json::as_str).expect("state is a string");
+        assert!(
+            ["exploring", "stable", "discontinued", "cooldown"].contains(&state),
+            "unexpected state `{state}`"
+        );
+    }
+}
+
+#[test]
 fn phases_reports_interval_stability() {
     let out = clustered(&["phases", "--workload", "swim", "--instructions", "60000"]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
