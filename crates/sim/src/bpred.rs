@@ -86,6 +86,7 @@ pub struct BranchPredictor {
     bimodal: Vec<Counter2>,
     history: Vec<u16>,
     history_mask: u16,
+    history_bits: usize,
     pattern: Vec<Counter2>,
     meta: Vec<Counter2>,
     btb: Btb,
@@ -100,6 +101,7 @@ impl BranchPredictor {
             bimodal: vec![Counter2::default(); params.bimodal_size],
             history: vec![0; params.l1_size],
             history_mask: ((1u32 << params.history_bits) - 1) as u16,
+            history_bits: params.history_bits,
             pattern: vec![Counter2::default(); params.l2_size],
             meta: vec![Counter2::default(); params.meta_size],
             btb: Btb::new(params.btb_sets, params.btb_ways),
@@ -117,8 +119,7 @@ impl BranchPredictor {
 
     fn pattern_index(&self, pc: u32) -> usize {
         let hist = self.history[pc as usize % self.history.len()] as usize;
-        let bits = self.history_mask.count_ones();
-        (hist | ((pc as usize) << bits)) % self.pattern.len()
+        (hist | ((pc as usize) << self.history_bits)) % self.pattern.len()
     }
 
     /// Consults and trains the predictor for the control transfer at

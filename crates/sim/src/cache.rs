@@ -6,12 +6,14 @@ use crate::config::{CacheModel, CacheParams};
 use crate::interconnect::Interconnect;
 use crate::slots::SlotReservations;
 use crate::stats::SimStats;
-use std::collections::HashMap;
+use crate::fxhash::FastMap;
 
 /// A set-associative tag array with true LRU.
 #[derive(Debug, Clone)]
 pub struct CacheArray {
-    sets: usize,
+    /// `sets - 1`; the constructor asserts `sets` is a power of two,
+    /// so set selection is a mask instead of a modulo.
+    set_mask: usize,
     ways: usize,
     line_shift: u32,
     /// (tag, valid, dirty, lru-stamp) per way.
@@ -41,7 +43,7 @@ impl CacheArray {
         let sets = size / (ways * line);
         assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
         CacheArray {
-            sets,
+            set_mask: sets - 1,
             ways,
             line_shift: line.trailing_zeros(),
             entries: vec![(0, false, false, 0); sets * ways],
@@ -51,9 +53,10 @@ impl CacheArray {
 
     /// Accesses `addr`, allocating on miss; marks the line dirty on
     /// writes.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> ArrayAccess {
         let line = addr >> self.line_shift;
-        let set = (line as usize % self.sets) * self.ways;
+        let set = (line as usize & self.set_mask) * self.ways;
         self.stamp += 1;
         for i in set..set + self.ways {
             let e = &mut self.entries[i];
@@ -76,7 +79,7 @@ impl CacheArray {
     /// Whether `addr`'s line is present (no LRU update, no allocation).
     pub fn probe(&self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
-        let set = (line as usize % self.sets) * self.ways;
+        let set = (line as usize & self.set_mask) * self.ways;
         self.entries[set..set + self.ways].iter().any(|e| e.1 && e.0 == line)
     }
 
@@ -105,7 +108,7 @@ const MSHR_PRUNE_LIMIT: usize = 64 * 1024;
 
 /// Drops in-flight-fill records that completed before `now`; called
 /// when a map crosses [`MSHR_PRUNE_LIMIT`] so long runs stay bounded.
-fn prune_mshr(mshr: &mut HashMap<u64, u64>, now: u64) {
+fn prune_mshr(mshr: &mut FastMap<u64, u64>, now: u64) {
     if mshr.len() > MSHR_PRUNE_LIMIT {
         mshr.retain(|_, &mut ready| ready >= now);
     }
@@ -120,8 +123,8 @@ pub struct MemHierarchy {
     l2: CacheArray,
     l2_port: SlotReservations,
     /// In-flight line fills, for merging repeated misses: line → ready.
-    l1_mshr: HashMap<u64, u64>,
-    l2_mshr: HashMap<u64, u64>,
+    l1_mshr: FastMap<u64, u64>,
+    l2_mshr: FastMap<u64, u64>,
 }
 
 impl MemHierarchy {
@@ -153,8 +156,8 @@ impl MemHierarchy {
             bank_ports: SlotReservations::new(nbanks),
             l2: CacheArray::new(params.l2_size, params.l2_assoc, params.l2_line),
             l2_port: SlotReservations::new(1),
-            l1_mshr: HashMap::new(),
-            l2_mshr: HashMap::new(),
+            l1_mshr: FastMap::default(),
+            l2_mshr: FastMap::default(),
         }
     }
 
@@ -165,6 +168,7 @@ impl MemHierarchy {
 
     /// The L1 bank servicing `addr` when `active_banks` are in use
     /// (word-interleaved on 8-byte words).
+    #[inline]
     pub fn bank_of(&self, addr: u64, active_banks: usize) -> usize {
         (addr >> 3) as usize & (active_banks - 1)
     }

@@ -103,6 +103,9 @@ pub struct Cluster {
     pending: [BinaryHeap<Reverse<(u64, u64)>>; FU_GROUPS],
     /// Ready-to-issue instructions by age.
     ready: [BTreeSet<u64>; FU_GROUPS],
+    /// Instructions in `pending` + `ready` across all groups; lets the
+    /// issue stage skip quiescent clusters in O(1).
+    queued: usize,
 }
 
 impl Cluster {
@@ -125,17 +128,21 @@ impl Cluster {
             ],
             pending: Default::default(),
             ready: Default::default(),
+            queued: 0,
         }
     }
 
     /// Queues a dispatched instruction for issue once `ready_at`.
+    #[inline]
     pub fn enqueue(&mut self, group: FuGroup, ready_at: u64, seq: u64) {
         self.pending[group.index()].push(Reverse((ready_at, seq)));
+        self.queued += 1;
     }
 
     /// Moves instructions whose operands have arrived into the ready
     /// set, then returns up to one issuable instruction per free unit
     /// in each group, oldest first: `(seq, group, unit)`.
+    #[inline]
     pub fn select(&mut self, now: u64, out: &mut Vec<(u64, FuGroup, usize)>) {
         for gi in 0..FU_GROUPS {
             while let Some(&Reverse((t, seq))) = self.pending[gi].peek() {
@@ -155,7 +162,10 @@ impl Cluster {
                     continue;
                 }
                 match self.ready[gi].pop_first() {
-                    Some(seq) => out.push((seq, group, unit)),
+                    Some(seq) => {
+                        self.queued -= 1;
+                        out.push((seq, group, unit));
+                    }
                     None => break,
                 }
             }
@@ -163,13 +173,26 @@ impl Cluster {
     }
 
     /// Marks `unit` of `group` busy until `until` (issue accepted).
+    #[inline]
     pub fn occupy(&mut self, group: FuGroup, unit: usize, until: u64) {
         self.fu_busy[group.index()][unit] = until;
     }
 
+    /// Instructions queued here (pending or ready, all groups).
+    #[inline]
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
     /// Whether any instruction is still queued here (for drain checks).
     pub fn is_idle(&self) -> bool {
-        self.pending.iter().all(BinaryHeap::is_empty) && self.ready.iter().all(BTreeSet::is_empty)
+        debug_assert_eq!(
+            self.queued,
+            self.pending.iter().map(BinaryHeap::len).sum::<usize>()
+                + self.ready.iter().map(BTreeSet::len).sum::<usize>(),
+            "queued counter out of sync"
+        );
+        self.queued == 0
     }
 }
 

@@ -88,6 +88,7 @@ impl Interconnect {
     /// # Panics
     ///
     /// Panics if either index is out of range.
+    #[inline]
     pub fn distance(&self, a: usize, b: usize) -> u64 {
         assert!(a < self.n && b < self.n, "cluster index out of range");
         match self.topology {
@@ -105,6 +106,7 @@ impl Interconnect {
     }
 
     /// Minimum (uncontended) latency from `a` to `b`.
+    #[inline]
     pub fn latency(&self, a: usize, b: usize) -> u64 {
         self.distance(a, b) * self.hop_latency
     }
@@ -119,6 +121,7 @@ impl Interconnect {
     /// # Panics
     ///
     /// Panics if either index is out of range.
+    #[inline]
     pub fn transfer(&mut self, from: usize, to: usize, earliest: u64) -> u64 {
         assert!(from < self.n && to < self.n, "cluster index out of range");
         if from == to {

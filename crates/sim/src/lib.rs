@@ -55,6 +55,7 @@ mod config;
 mod crit;
 mod decision;
 mod energy;
+mod fxhash;
 mod interconnect;
 mod lsq;
 mod observe;

@@ -7,7 +7,8 @@
 //! every other active slice until its address broadcast arrives
 //! (paper §5, after Zyuban & Kogge).
 
-use std::collections::{BTreeSet, HashMap};
+use crate::fxhash::FastMap;
+use std::collections::BTreeSet;
 
 /// One load/store queue slice.
 #[derive(Debug, Clone, Default)]
@@ -20,7 +21,7 @@ pub struct LsqSlice {
     parked_loads: BTreeSet<u64>,
     /// Resolved stores by 8-byte word: word → (store seq, time the
     /// data is available here), for forwarding.
-    store_words: HashMap<u64, Vec<(u64, u64)>>,
+    store_words: FastMap<u64, Vec<(u64, u64)>>,
 }
 
 impl LsqSlice {
@@ -30,11 +31,13 @@ impl LsqSlice {
     }
 
     /// Whether a new entry can be allocated.
+    #[inline]
     pub fn has_space(&self) -> bool {
         self.used < self.capacity
     }
 
     /// Current occupancy.
+    #[inline]
     pub fn occupancy(&self) -> usize {
         self.used
     }
@@ -45,6 +48,7 @@ impl LsqSlice {
     ///
     /// Panics if the slice is full; callers must check
     /// [`LsqSlice::has_space`] first.
+    #[inline]
     pub fn allocate(&mut self) {
         assert!(self.used < self.capacity, "LSQ overflow");
         self.used += 1;
@@ -55,6 +59,7 @@ impl LsqSlice {
     /// # Panics
     ///
     /// Panics if the slice is empty.
+    #[inline]
     pub fn release(&mut self) {
         assert!(self.used > 0, "LSQ underflow");
         self.used -= 1;
@@ -67,6 +72,7 @@ impl LsqSlice {
 
     /// Whether a load at `seq` must wait for an earlier store's
     /// address.
+    #[inline]
     pub fn blocked(&self, seq: u64) -> bool {
         self.unresolved_stores.range(..seq).next_back().is_some()
     }
@@ -96,6 +102,7 @@ impl LsqSlice {
 
     /// The latest store older than `load_seq` to the same word, if
     /// any: `(store_seq, data_available_at)`.
+    #[inline]
     pub fn forward_source(&self, word: u64, load_seq: u64) -> Option<(u64, u64)> {
         self.store_words
             .get(&word)?

@@ -1,0 +1,155 @@
+//! In-order commit: retirement, policy requests, and reconfiguration.
+
+use super::{legal_cluster_count, Processor, RobEntry};
+use crate::config::CacheModel;
+use crate::observe::SimObserver;
+use crate::reconfig::CommitEvent;
+use clustered_emu::{BranchKind, DynInst};
+use clustered_isa::OpClass;
+
+impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+    pub(super) fn commit(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.frontend.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.done || head.done_at > self.now {
+                break;
+            }
+            let e = self.rob.pop_front().expect("just peeked");
+            n += 1;
+            self.retire(e);
+        }
+        self.take_policy_request();
+    }
+
+    fn retire(&mut self, mut e: RobEntry) {
+        // Waiters were drained at writeback; recycle whatever capacity
+        // the entry still holds.
+        let waiters = std::mem::take(&mut e.waiters);
+        self.recycle_waiters(waiters);
+        // Stores write their bank at commit (tags, port, stats); the
+        // data is buffered so commit itself does not wait.
+        match e.class {
+            OpClass::Store => {
+                let mem_access = e.d.mem.expect("store without address");
+                let ready = self.mem.access(
+                    &mut self.net,
+                    e.bank,
+                    e.bank_cluster,
+                    mem_access.addr,
+                    true,
+                    self.now,
+                    &mut self.stats,
+                );
+                self.observer.on_cache_access(self.now, e.bank, true, ready);
+                self.lsq[e.alloc_slice].release();
+                let forward_slice = self.forward_slice(e.bank);
+                self.lsq[forward_slice].remove_store_data(mem_access.addr >> 3, e.d.seq);
+                self.stats.stores += 1;
+                self.stats.memrefs += 1;
+            }
+            OpClass::Load => {
+                self.lsq[e.alloc_slice].release();
+                self.stats.loads += 1;
+                self.stats.memrefs += 1;
+            }
+            _ => {}
+        }
+        if let Some((cluster, domain)) = e.frees {
+            self.clusters[cluster].free_regs[domain] += 1;
+        }
+        if let Some(dest) = e.dest {
+            let r = dest.unified_index();
+            if self.rename[r] == Some(e.d.seq) {
+                self.rename[r] = None;
+                self.arch_home[r] = e.cluster;
+                self.arch_avail[r] = e.copies;
+            }
+        }
+        self.stats.committed += 1;
+        if e.distant {
+            self.stats.distant_issues += 1;
+        }
+        let mut is_cond = false;
+        let mut is_call = false;
+        let mut is_return = false;
+        if let Some(b) = e.d.branch {
+            self.stats.branches += 1;
+            is_cond = b.kind == BranchKind::Conditional;
+            is_call = matches!(b.kind, BranchKind::Call | BranchKind::IndirectCall);
+            is_return = b.kind == BranchKind::Return;
+            if is_cond {
+                self.stats.cond_branches += 1;
+            }
+            if e.mispredicted {
+                self.stats.mispredicts += 1;
+            }
+        }
+        let event = CommitEvent {
+            seq: e.d.seq,
+            pc: e.d.pc,
+            cycle: self.now,
+            is_branch: e.d.branch.is_some(),
+            is_cond_branch: is_cond,
+            is_call,
+            is_return,
+            is_memref: e.d.mem.is_some(),
+            distant: e.distant,
+            mispredicted: e.mispredicted,
+        };
+        self.observer.on_commit(&event);
+        if let Some(request) = self.policy.on_commit(&event) {
+            self.reconfig_request = Some(request);
+        }
+        // Decision telemetry is drained only for observers that opt
+        // in; the branch is a compile-time constant, so NullObserver
+        // runs carry no polling at all.
+        if O::WANTS_DECISIONS {
+            if let Some(decision) = self.policy.take_decision() {
+                self.observer.on_decision(&decision);
+            }
+        }
+    }
+
+    fn take_policy_request(&mut self) {
+        let Some(request) = self.reconfig_request.take() else { return };
+        let request = legal_cluster_count(
+            request,
+            self.cfg.clusters.count,
+            self.cfg.cache.model == CacheModel::Decentralized,
+        );
+        match self.cfg.cache.model {
+            CacheModel::Centralized => {
+                if request != self.active {
+                    self.observer.on_reconfig(self.now, self.active, request);
+                    self.active = request;
+                    self.stats.reconfigurations += 1;
+                }
+            }
+            CacheModel::Decentralized => {
+                // A request back to the current configuration cancels a
+                // not-yet-applied switch instead of scheduling a
+                // drain + flush to the configuration already in use.
+                self.pending_reconfig = (request != self.active).then_some(request);
+            }
+        }
+    }
+
+    pub(super) fn apply_reconfig(&mut self) {
+        let Some(target) = self.pending_reconfig else { return };
+        // The bank interleaving changes, so the pipeline drains and the
+        // L1 is flushed to L2 while the processor stalls (paper §5).
+        if !self.rob.is_empty() {
+            return;
+        }
+        let (writebacks, stall) = self.mem.flush_l1();
+        self.stats.flush_writebacks += writebacks;
+        self.stats.flush_stall_cycles += stall;
+        self.dispatch_stall_until = self.now + stall;
+        self.observer.on_flush_stall(self.now, stall, writebacks);
+        self.observer.on_reconfig(self.now, self.active, target);
+        self.active = target;
+        self.stats.reconfigurations += 1;
+        self.pending_reconfig = None;
+    }
+}

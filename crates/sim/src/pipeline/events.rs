@@ -1,0 +1,708 @@
+//! Sharded event queues and the event handlers of the backend.
+//!
+//! Events — writebacks, AGU completions, LSQ arrivals, and store
+//! broadcasts — are queued per destination cluster in [`EventShards`]
+//! but drained in one global `(time, tick)` order, so the schedule is
+//! exactly the one a single machine-wide queue would compute while
+//! quiescent clusters cost nothing (see DESIGN.md, "Sharded event
+//! model").
+
+use super::{Processor, ABSENT, STORE_VALUE_SLOT};
+use crate::cluster::FuGroup;
+use crate::config::CacheModel;
+use crate::observe::{SimObserver, TransferKind};
+use clustered_emu::DynInst;
+use clustered_isa::OpClass;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+// The shard frontier is a u32 bitmask, one bit per physical cluster.
+const _: () = assert!(crate::config::MAX_CLUSTERS <= 32, "frontier mask is a u32");
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(super) enum EventKind {
+    /// Result available: wake consumers, redirect fetch, etc.
+    WriteBack { seq: u64 },
+    /// A load's effective address left its AGU.
+    LoadAddr { seq: u64 },
+    /// A store's effective address left its AGU (its data may still be
+    /// outstanding).
+    StoreAddr { seq: u64 },
+    /// A load arrived at LSQ slice `slice`.
+    LoadAtLsq { seq: u64, slice: usize },
+    /// A store's address (and data) became visible at LSQ slice
+    /// `slice`. Carries everything needed because the store may have
+    /// committed before the broadcast lands.
+    StoreResolved {
+        seq: u64,
+        slice: usize,
+        word: u64,
+        own: bool,
+        forward_here: bool,
+    },
+}
+
+/// Calendar window per shard, in cycles; a power of two. Nothing in
+/// the machine schedules farther ahead than a memory round trip (far
+/// below this), but events beyond the window are still correct: they
+/// wait in a shared overflow heap until the window reaches them.
+const CAL_WINDOW: usize = 4096;
+const CAL_MASK: usize = CAL_WINDOW - 1;
+const CAL_WORDS: usize = CAL_WINDOW / 64;
+
+// The per-shard occupancy summary is a single u64, one bit per word.
+const _: () = assert!(CAL_WORDS <= 64, "calendar summary bitmap is a u64");
+
+/// One time-indexed bucket of a shard's calendar: events of a single
+/// cycle, appended (and therefore delivered) in tick order.
+#[derive(Debug, Default, Clone)]
+struct Bucket {
+    /// Next entry to deliver; earlier entries are already popped.
+    next: usize,
+    /// `(time, tick, kind)` in push order.
+    items: Vec<(u64, u64, EventKind)>,
+}
+
+/// One cluster's event calendar: a ring of [`CAL_WINDOW`] buckets
+/// indexed by `time % CAL_WINDOW`, with a two-level occupancy bitmap
+/// so the earliest pending bucket is found in a handful of bit
+/// operations. Push and pop are plain `Vec` appends/reads — no
+/// heap sift — which is what makes the event machinery cheap.
+#[derive(Debug)]
+struct Shard {
+    buckets: Vec<Bucket>,
+    /// Bit `i % 64` of `occ[i / 64]` ⇔ `buckets[i]` has undelivered
+    /// entries.
+    occ: [u64; CAL_WORDS],
+    /// Bit `w` ⇔ `occ[w] != 0`.
+    summary: u64,
+    len: usize,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            buckets: vec![Bucket::default(); CAL_WINDOW],
+            occ: [0; CAL_WORDS],
+            summary: 0,
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, time: u64, tick: u64, kind: EventKind) {
+        let idx = time as usize & CAL_MASK;
+        let b = &mut self.buckets[idx];
+        if b.items.is_empty() {
+            self.occ[idx >> 6] |= 1 << (idx & 63);
+            self.summary |= 1 << (idx >> 6);
+        }
+        b.items.push((time, tick, kind));
+        self.len += 1;
+    }
+
+    /// First occupied bucket at or (circularly) after ring position
+    /// `from`. The shard must be non-empty.
+    fn find_first(&self, from: usize) -> usize {
+        let w = from >> 6;
+        let bits = self.occ[w] & (!0u64 << (from & 63));
+        if bits != 0 {
+            return (w << 6) | bits.trailing_zeros() as usize;
+        }
+        let after = if w + 1 == CAL_WORDS { 0 } else { self.summary & (!0u64 << (w + 1)) };
+        debug_assert!(self.summary != 0, "searching an empty shard");
+        let sw = if after != 0 {
+            after.trailing_zeros() as usize
+        } else {
+            // Wrap: the earliest bucket is circularly before `from`.
+            self.summary.trailing_zeros() as usize
+        };
+        let bits = if sw == w { self.occ[w] & !(!0u64 << (from & 63)) } else { self.occ[sw] };
+        (sw << 6) | bits.trailing_zeros() as usize
+    }
+
+    /// The earliest undelivered event, as `(time, tick, bucket)`.
+    /// `floor` must lower-bound every undelivered time, which makes
+    /// ring order from `floor` equal to time order.
+    fn head(&self, floor: u64) -> (u64, u64, usize) {
+        let idx = self.find_first(floor as usize & CAL_MASK);
+        let b = &self.buckets[idx];
+        let (t, k, _) = b.items[b.next];
+        (t, k, idx)
+    }
+
+    fn pop(&mut self, idx: usize) -> EventKind {
+        let b = &mut self.buckets[idx];
+        let (_, _, kind) = b.items[b.next];
+        b.next += 1;
+        self.len -= 1;
+        if b.next == b.items.len() {
+            b.items.clear();
+            b.next = 0;
+            self.occ[idx >> 6] &= !(1 << (idx & 63));
+            if self.occ[idx >> 6] == 0 {
+                self.summary &= !(1 << (idx >> 6));
+            }
+        }
+        kind
+    }
+}
+
+/// Per-cluster event queues behind a single global ordering.
+///
+/// Each shard is a calendar queue ([`Shard`]); the `tick` counter is
+/// *global* and strictly increasing across every push, so `(time,
+/// tick)` totally orders all in-flight events regardless of shard.
+/// [`EventShards::pop_due`] always returns the globally smallest due
+/// pair, which makes the drain order identical to a single machine-wide
+/// `(time, tick)` min-heap — the sharding only changes *where* events
+/// wait, never *when* they fire. Within a bucket (one shard, one
+/// cycle), append order is tick order because ticks grow with every
+/// push and overflow migration always precedes a same-time insert.
+///
+/// The frontier is `mask` (bit per non-empty shard, scanned in O(set
+/// bits)) plus `next_due`, a lower bound on the earliest pending event
+/// time: on cycles with nothing due, the drain returns after one
+/// comparison, so a wide machine with idle clusters pays nothing for
+/// their empty queues.
+#[derive(Debug)]
+pub(super) struct EventShards {
+    shards: Vec<Shard>,
+    /// Bit `c` set ⇔ shard `c` has undelivered events.
+    mask: u32,
+    /// Global tie-break counter, monotone across all shards.
+    tick: u64,
+    /// Lower bound on the earliest pending event time; exact after a
+    /// scan that found nothing due, and pushes can only lower it.
+    next_due: u64,
+    /// Lower bound on every undelivered event time; advances with the
+    /// drain. Scheduling below it would mean firing in the already-
+    /// delivered past — a sim bug, asserted in debug builds.
+    floor: u64,
+    /// Events beyond the calendar window, ordered by `(time, tick,
+    /// shard)`; migrated into their shard once the window reaches them.
+    overflow: BinaryHeap<Reverse<(u64, u64, u32, EventKind)>>,
+}
+
+impl EventShards {
+    pub(super) fn new(shards: usize) -> EventShards {
+        EventShards {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            mask: 0,
+            tick: 0,
+            next_due: u64::MAX,
+            floor: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn insert(&mut self, shard: usize, time: u64, tick: u64, kind: EventKind) {
+        self.shards[shard].insert(time, tick, kind);
+        self.mask |= 1 << shard;
+    }
+
+    /// Moves overflow events with `time <= limit` (and within the
+    /// window) into their calendars. Called before any same-time insert
+    /// so bucket append order stays tick order: an overflow event is
+    /// always older (smaller tick) than a calendar push for the same
+    /// cycle, because the window only ever advances.
+    fn migrate_overflow_upto(&mut self, limit: u64) {
+        while let Some(&Reverse((t, k, c, kind))) = self.overflow.peek() {
+            if t > limit || t.saturating_sub(self.floor) >= CAL_WINDOW as u64 {
+                break;
+            }
+            self.overflow.pop();
+            self.insert(c as usize, t, k, kind);
+        }
+    }
+
+    fn overflow_head_time(&self) -> u64 {
+        self.overflow.peek().map_or(u64::MAX, |&Reverse((t, ..))| t)
+    }
+
+    fn push(&mut self, shard: usize, time: u64, kind: EventKind) {
+        debug_assert!(time >= self.floor, "event scheduled in the delivered past");
+        let time = time.max(self.floor);
+        self.tick += 1;
+        let tick = self.tick;
+        if !self.overflow.is_empty() {
+            self.migrate_overflow_upto(time);
+        }
+        if time - self.floor >= CAL_WINDOW as u64 {
+            self.overflow.push(Reverse((time, tick, shard as u32, kind)));
+        } else {
+            self.insert(shard, time, tick, kind);
+        }
+        self.next_due = self.next_due.min(time);
+    }
+
+    /// Pops the globally earliest event if it is due at `now`.
+    ///
+    /// Scans the head of every non-empty shard for the minimum
+    /// `(time, tick)`; ticks are globally unique, so the winner is
+    /// unambiguous and matches the pop order of one machine-wide heap.
+    /// Returns `None` — after refreshing `next_due` exactly — once
+    /// nothing is due, so the caller's next idle cycle is a single
+    /// comparison.
+    fn pop_due(&mut self, now: u64) -> Option<EventKind> {
+        if self.next_due > now {
+            return None;
+        }
+        loop {
+            if !self.overflow.is_empty() {
+                self.migrate_overflow_upto(now);
+            }
+            let mut best: Option<(u64, u64, usize, usize)> = None;
+            let mut m = self.mask;
+            while m != 0 {
+                let c = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let (t, k, idx) = self.shards[c].head(self.floor);
+                if best.is_none_or(|(bt, bk, ..)| (t, k) < (bt, bk)) {
+                    best = Some((t, k, c, idx));
+                }
+            }
+            match best {
+                Some((t, _, c, idx)) if t <= now => {
+                    let kind = self.shards[c].pop(idx);
+                    if self.shards[c].len == 0 {
+                        self.mask &= !(1 << c);
+                    }
+                    return Some(kind);
+                }
+                other => {
+                    // Nothing due in the calendars; `t` and the overflow
+                    // head bound every live event, so the floor may rise
+                    // to their minimum.
+                    let t = other.map_or(u64::MAX, |(t, ..)| t);
+                    let oh = self.overflow_head_time();
+                    if !self.overflow.is_empty() && oh <= now {
+                        // A due overflow event was blocked by the stale
+                        // window: raise the floor and retry (each pass
+                        // migrates at least one event, so this ends).
+                        self.floor = self.floor.max(t.min(oh));
+                        continue;
+                    }
+                    self.next_due = t.min(oh);
+                    self.floor = self.floor.max(now.saturating_add(1));
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+    /// Queues `kind` to fire at `time` in `shard`'s event queue. The
+    /// shard is a locality hint only — the drain order is global — so
+    /// callers pass whichever cluster or LSQ slice the event concerns.
+    pub(super) fn schedule(&mut self, shard: usize, time: u64, kind: EventKind) {
+        self.events.push(shard, time, kind);
+    }
+
+    pub(super) fn drain_events(&mut self) {
+        while let Some(kind) = self.events.pop_due(self.now) {
+            match kind {
+                EventKind::WriteBack { seq } => self.writeback(seq),
+                EventKind::LoadAddr { seq } => self.load_addr(seq),
+                EventKind::StoreAddr { seq } => self.store_addr(seq),
+                EventKind::LoadAtLsq { seq, slice } => self.load_at_lsq(seq, slice),
+                EventKind::StoreResolved { seq, slice, word, own, forward_here } => {
+                    self.store_resolved(seq, slice, word, own, forward_here)
+                }
+            }
+        }
+    }
+
+    /// A cache-related transfer between clusters: free when local,
+    /// otherwise routed on the interconnect and counted.
+    pub(super) fn routed_cache_transfer(&mut self, from: usize, to: usize, earliest: u64) -> u64 {
+        if from == to {
+            earliest
+        } else {
+            let hops = self.net.distance(from, to);
+            self.stats.cache_transfers += 1;
+            self.stats.cache_transfer_hops += hops;
+            self.observer.on_transfer(self.now, TransferKind::Cache, from, to, hops);
+            self.net.transfer(from, to, earliest)
+        }
+    }
+
+    /// The LSQ slice holding forwarding state for a resolved bank:
+    /// the central slice for the centralized model, the bank's own
+    /// slice otherwise.
+    pub(super) fn forward_slice(&self, bank: usize) -> usize {
+        match self.cfg.cache.model {
+            CacheModel::Centralized => 0,
+            CacheModel::Decentralized => bank,
+        }
+    }
+
+    fn writeback(&mut self, seq: u64) {
+        let Some(idx) = self.rob_index(seq) else {
+            debug_assert!(false, "writeback for seq {seq} not in the ROB");
+            return;
+        };
+        let cluster = self.rob[idx].cluster;
+        self.rob[idx].done = true;
+        self.rob[idx].done_at = self.now;
+        self.rob[idx].copies[cluster] = self.now;
+
+        // Wake consumers, transferring the value to their clusters.
+        let waiters = std::mem::take(&mut self.rob[idx].waiters);
+        for &(wseq, wcluster, slot) in &waiters {
+            let arrival = self.value_arrival(idx, wcluster);
+            self.source_arrived(wseq, arrival, slot);
+        }
+        self.recycle_waiters(waiters);
+
+        // A mispredicted control transfer restarts fetch once the
+        // redirect reaches the front end (co-located with cluster 0).
+        if self.rob[idx].mispredicted && self.rob[idx].d.branch.is_some() {
+            let resume = self.now
+                + self.net.latency(cluster, 0)
+                + self.cfg.frontend.mispredict_penalty;
+            self.fetch_stall_until = self.fetch_stall_until.max(resume);
+            self.awaiting_redirect = false;
+        }
+
+        // A store's writeback means address *and* data are known:
+        // finalise its forwarding record at the bank slice and release
+        // any loads waiting on its data.
+        if self.rob[idx].class == OpClass::Store {
+            let mem_access = self.rob[idx].d.mem.expect("store without address");
+            let fslice = self.forward_slice(self.rob[idx].bank);
+            let avail = self.now + self.net.latency(cluster, fslice);
+            self.lsq[fslice].update_store_data(mem_access.addr >> 3, seq, avail);
+            if !self.loads_waiting_data.is_empty() {
+                let mut waiting = std::mem::take(&mut self.waiting_scratch);
+                self.loads_waiting_data.retain(|&(store, load, slice)| {
+                    let matches = store == seq;
+                    if matches {
+                        waiting.push((load, slice));
+                    }
+                    !matches
+                });
+                for (load_seq, slice) in waiting.drain(..) {
+                    self.proceed_load(load_seq, slice);
+                }
+                self.waiting_scratch = waiting;
+            }
+        }
+    }
+
+    /// Returns a waiter vector's capacity to the reuse pool (bounded
+    /// so a pathological phase cannot pin memory).
+    pub(super) fn recycle_waiters(&mut self, mut waiters: Vec<(u64, usize, u8)>) {
+        if waiters.capacity() > 0 && self.waiter_pool.len() < 256 {
+            waiters.clear();
+            self.waiter_pool.push(waiters);
+        }
+    }
+
+    /// When `entry`'s result reaches cluster `to`, scheduling a
+    /// transfer if it is not already there or en route.
+    pub(super) fn value_arrival(&mut self, idx: usize, to: usize) -> u64 {
+        let from = self.rob[idx].cluster;
+        let done = self.rob[idx].done_at;
+        if self.rob[idx].copies[to] != ABSENT {
+            return self.rob[idx].copies[to];
+        }
+        let arrival = if to == from {
+            done
+        } else {
+            let a = self.net.transfer(from, to, done.max(self.now));
+            let hops = self.net.distance(from, to);
+            self.stats.reg_transfers += 1;
+            self.stats.reg_transfer_hops += hops;
+            self.observer.on_transfer(self.now, TransferKind::Register, from, to, hops);
+            a
+        };
+        self.rob[idx].copies[to] = arrival;
+        arrival
+    }
+
+    fn source_arrived(&mut self, seq: u64, arrival: u64, slot: u8) {
+        let Some(idx) = self.rob_index(seq) else {
+            debug_assert!(false, "woken consumer {seq} not in the ROB");
+            return;
+        };
+        if slot == STORE_VALUE_SLOT {
+            // A store's data operand: it does not gate address
+            // generation, only the store's completion.
+            self.rob[idx].store_value_at = arrival;
+            if self.rob[idx].agu_done != ABSENT {
+                let t = self.rob[idx].agu_done.max(arrival).max(self.now);
+                let cluster = self.rob[idx].cluster;
+                self.schedule(cluster, t, EventKind::WriteBack { seq });
+            }
+            return;
+        }
+        let e = &mut self.rob[idx];
+        e.src_arrival[slot as usize] = arrival;
+        e.ready_at = e.ready_at.max(arrival);
+        e.srcs_outstanding -= 1;
+        if e.srcs_outstanding == 0 {
+            let (cluster, group, ready_at) = (e.cluster, FuGroup::of(e.class), e.ready_at);
+            self.cluster_enqueue(cluster, group, ready_at, seq);
+        }
+    }
+
+    fn broadcast_store(&mut self, idx: usize) {
+        let seq = self.rob[idx].d.seq;
+        let cluster = self.rob[idx].cluster;
+        let addr = self.rob[idx].d.mem.expect("store without address").addr;
+        let word = addr >> 3;
+        match self.cfg.cache.model {
+            CacheModel::Centralized => {
+                self.rob[idx].bank = self.mem.bank_of(addr, self.cfg.cache.l1_banks);
+                self.rob[idx].bank_cluster = 0;
+                let at = self.routed_cache_transfer(cluster, 0, self.now);
+                self.schedule(
+                    0,
+                    at.max(self.now),
+                    EventKind::StoreResolved { seq, slice: 0, word, own: true, forward_here: true },
+                );
+            }
+            CacheModel::Decentralized => {
+                let active = self.rob[idx].active_at_dispatch;
+                let bank = self.mem.bank_of(addr, active);
+                self.rob[idx].bank = bank;
+                self.rob[idx].bank_cluster = bank;
+                for k in 0..active {
+                    let at = self.routed_cache_transfer(cluster, k, self.now);
+                    self.schedule(
+                        k,
+                        at.max(self.now),
+                        EventKind::StoreResolved {
+                            seq,
+                            slice: k,
+                            word,
+                            own: k == cluster,
+                            forward_here: k == bank,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn store_addr(&mut self, seq: u64) {
+        let Some(idx) = self.rob_index(seq) else {
+            debug_assert!(false, "store-address event for seq {seq} not in the ROB");
+            return;
+        };
+        self.rob[idx].agu_done = self.now;
+        // Address known: broadcast for disambiguation/dummy release.
+        self.broadcast_store(idx);
+        let value_at = self.rob[idx].store_value_at;
+        if value_at != ABSENT {
+            let cluster = self.rob[idx].cluster;
+            self.schedule(cluster, value_at.max(self.now), EventKind::WriteBack { seq });
+        }
+    }
+
+    fn load_addr(&mut self, seq: u64) {
+        let Some(idx) = self.rob_index(seq) else {
+            debug_assert!(false, "load-address event for seq {seq} not in the ROB");
+            return;
+        };
+        let cluster = self.rob[idx].cluster;
+        let addr = self.rob[idx].d.mem.expect("load without address").addr;
+        match self.cfg.cache.model {
+            CacheModel::Centralized => {
+                self.rob[idx].bank = self.mem.bank_of(addr, self.cfg.cache.l1_banks);
+                self.rob[idx].bank_cluster = 0;
+                let at = self.routed_cache_transfer(cluster, 0, self.now);
+                self.schedule(0, at.max(self.now), EventKind::LoadAtLsq { seq, slice: 0 });
+            }
+            CacheModel::Decentralized => {
+                let active = self.rob[idx].active_at_dispatch;
+                let bank = self.mem.bank_of(addr, active);
+                self.rob[idx].bank = bank;
+                self.rob[idx].bank_cluster = bank;
+                let at = self.routed_cache_transfer(cluster, bank, self.now);
+                self.schedule(bank, at.max(self.now), EventKind::LoadAtLsq { seq, slice: bank });
+            }
+        }
+    }
+
+    fn load_at_lsq(&mut self, seq: u64, slice: usize) {
+        if self.lsq[slice].blocked(seq) {
+            self.lsq[slice].park(seq);
+        } else {
+            self.proceed_load(seq, slice);
+        }
+    }
+
+    pub(super) fn proceed_load(&mut self, seq: u64, slice: usize) {
+        let Some(idx) = self.rob_index(seq) else {
+            debug_assert!(false, "proceeding load {seq} not in the ROB");
+            return;
+        };
+        let mem_access = self.rob[idx].d.mem.expect("load without address");
+        let (bank, bank_cluster, cluster) =
+            (self.rob[idx].bank, self.rob[idx].bank_cluster, self.rob[idx].cluster);
+        let word = mem_access.addr >> 3;
+        let data_at_bank = match self.lsq[slice].forward_source(word, seq) {
+            Some((store_seq, avail)) => {
+                if avail == ABSENT {
+                    // The matching store's data is still being computed;
+                    // retry when it writes back.
+                    self.loads_waiting_data.push((store_seq, seq, slice));
+                    return;
+                }
+                self.stats.lsq_forwards += 1;
+                avail.max(self.now) + 1
+            }
+            None => {
+                let ready = self.mem.access(
+                    &mut self.net,
+                    bank,
+                    bank_cluster,
+                    mem_access.addr,
+                    false,
+                    self.now,
+                    &mut self.stats,
+                );
+                self.observer.on_cache_access(self.now, bank, false, ready);
+                ready
+            }
+        };
+        // Data returns to the consuming cluster: from cluster 0 for the
+        // centralized cache, from the bank's cluster otherwise.
+        let home = self.forward_slice(bank_cluster);
+        let back = self.routed_cache_transfer(home, cluster, data_at_bank);
+        self.schedule(cluster, back.max(self.now + 1), EventKind::WriteBack { seq });
+    }
+
+    fn store_resolved(&mut self, seq: u64, slice: usize, word: u64, own: bool, forward_here: bool) {
+        if forward_here {
+            // Only record forwarding state for stores still in flight —
+            // this is the one event that legitimately outlives its ROB
+            // entry; committed stores have already written the cache.
+            // If the store's data is still outstanding, record a
+            // placeholder that its writeback fills in.
+            if let Some(idx) = self.rob_index(seq) {
+                let avail = if self.rob[idx].done {
+                    // The data may have been produced after the address
+                    // broadcast departed; it still needs its own trip.
+                    let extra = self.net.latency(self.rob[idx].cluster, slice);
+                    self.now.max(self.rob[idx].done_at + extra)
+                } else {
+                    ABSENT
+                };
+                self.lsq[slice].record_store_data(word, seq, avail);
+            }
+        }
+        if !own {
+            // Dummy slot released on broadcast arrival.
+            self.lsq[slice].release();
+        }
+        let freed = self.lsq[slice].resolve_store(seq);
+        for load in freed {
+            self.proceed_load(load, slice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{EventKind, EventShards};
+
+    fn wb(seq: u64) -> EventKind {
+        EventKind::WriteBack { seq }
+    }
+
+    /// The sharded queue must pop in exactly the `(time, tick)` order
+    /// of one global heap, regardless of which shard events sit in.
+    #[test]
+    fn pop_order_is_global_time_then_tick() {
+        let mut s = EventShards::new(4);
+        s.push(3, 10, wb(1)); // tick 1
+        s.push(0, 10, wb(2)); // tick 2: same time, later tick → after
+        s.push(2, 5, wb(3)); // tick 3: earlier time → first
+        s.push(1, 10, wb(4)); // tick 4
+        let mut order = Vec::new();
+        while let Some(kind) = s.pop_due(u64::MAX) {
+            order.push(kind);
+        }
+        assert_eq!(order, vec![wb(3), wb(1), wb(2), wb(4)]);
+    }
+
+    #[test]
+    fn pop_due_respects_now_and_refreshes_frontier() {
+        let mut s = EventShards::new(2);
+        s.push(0, 7, wb(1));
+        s.push(1, 3, wb(2));
+        assert_eq!(s.pop_due(2), None, "nothing due before cycle 3");
+        assert_eq!(s.next_due, 3, "scan refreshed the frontier exactly");
+        assert_eq!(s.pop_due(3), Some(wb(2)));
+        assert_eq!(s.pop_due(3), None);
+        assert_eq!(s.next_due, 7);
+        assert_eq!(s.pop_due(7), Some(wb(1)));
+        assert_eq!(s.pop_due(u64::MAX), None);
+        assert_eq!(s.mask, 0, "drained shards leave the frontier");
+        assert_eq!(s.next_due, u64::MAX);
+    }
+
+    /// Events pushed while draining (handler chains within one cycle)
+    /// are seen by the same drain, as with the former single heap.
+    #[test]
+    fn same_cycle_chains_are_visible() {
+        let mut s = EventShards::new(2);
+        s.push(0, 4, wb(1));
+        assert_eq!(s.pop_due(4), Some(wb(1)));
+        s.push(1, 4, wb(2)); // a handler scheduling for the same cycle
+        assert_eq!(s.pop_due(4), Some(wb(2)));
+        assert_eq!(s.pop_due(4), None);
+    }
+
+    /// The calendar ring wraps: once the floor has advanced, a bucket
+    /// index smaller than the floor's can hold a *later* time, and time
+    /// order must still win over ring order.
+    #[test]
+    fn calendar_ring_wrap_keeps_time_order() {
+        let mut s = EventShards::new(1);
+        s.push(0, 4000, wb(1));
+        assert_eq!(s.pop_due(4000), Some(wb(1)));
+        assert_eq!(s.pop_due(4000), None); // floor advances to 4001
+        s.push(0, super::CAL_WINDOW as u64 - 1, wb(2)); // bucket 4095
+        s.push(0, 5000, wb(3)); // bucket 5000 % 4096 = 904, wrapped
+        assert_eq!(s.pop_due(5000), Some(wb(2)));
+        assert_eq!(s.pop_due(5000), Some(wb(3)));
+        assert_eq!(s.pop_due(5000), None);
+    }
+
+    /// Events beyond the calendar window park in the overflow heap and
+    /// still fire at their exact cycle once the window reaches them.
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let far = 2 * super::CAL_WINDOW as u64 + 100;
+        let mut s = EventShards::new(2);
+        s.push(1, far, wb(1)); // beyond the window: parked
+        s.push(0, 10, wb(2));
+        assert_eq!(s.pop_due(10), Some(wb(2)));
+        assert_eq!(s.pop_due(far - 1), None);
+        assert_eq!(s.next_due, far, "overflow head drives the frontier");
+        assert_eq!(s.pop_due(far), Some(wb(1)));
+        assert_eq!(s.pop_due(u64::MAX), None);
+        assert_eq!(s.mask, 0);
+    }
+
+    /// A push migrates older same-cycle overflow events first, so
+    /// bucket append order stays tick order.
+    #[test]
+    fn overflow_migration_preserves_tick_order() {
+        let far = 2 * super::CAL_WINDOW as u64;
+        let mut s = EventShards::new(1);
+        s.push(0, far, wb(1)); // tick 1: parked in overflow
+        s.push(0, 5, wb(2));
+        assert_eq!(s.pop_due(5), Some(wb(2))); // floor: 5
+        s.push(0, far - 5, wb(3)); // advances nothing: different bucket
+        assert_eq!(s.pop_due(far - 5), Some(wb(3))); // floor: far - 5
+        s.push(0, far, wb(4)); // tick 4, same cycle: wb(1) must migrate first
+        assert_eq!(s.pop_due(far), Some(wb(1)));
+        assert_eq!(s.pop_due(far), Some(wb(4)));
+        assert_eq!(s.pop_due(far), None);
+    }
+}

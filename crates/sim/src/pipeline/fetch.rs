@@ -1,0 +1,43 @@
+//! Fetch: branch prediction and the fetch queue.
+
+use super::{Fetched, Processor};
+use crate::observe::SimObserver;
+use clustered_emu::DynInst;
+
+impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+    pub(super) fn fetch(&mut self) {
+        if self.trace_done || self.awaiting_redirect || self.now < self.fetch_stall_until {
+            return;
+        }
+        let mut fetched = 0;
+        let mut blocks = 0;
+        while fetched < self.cfg.frontend.fetch_width
+            && self.fetch_queue.len() < self.cfg.frontend.fetch_queue
+        {
+            let Some(d) = self.trace.next() else {
+                self.trace_done = true;
+                break;
+            };
+            let mut mispredicted = false;
+            let mut block_ended = false;
+            if let Some(outcome) = d.branch {
+                let prediction = self.bpred.predict_and_update(d.pc, &outcome);
+                mispredicted = !prediction.correct;
+                block_ended = true;
+            }
+            self.fetch_queue.push_back(Fetched { d, fetched_at: self.now, mispredicted });
+            fetched += 1;
+            if mispredicted {
+                // Wrong path: fetch stalls until the branch resolves.
+                self.awaiting_redirect = true;
+                break;
+            }
+            if block_ended {
+                blocks += 1;
+                if blocks >= self.cfg.frontend.max_basic_blocks {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! The cycle-level clustered out-of-order processor.
+//!
+//! Trace-driven: the [`Processor`] consumes the dynamic instruction
+//! stream produced by `clustered-emu` and models fetch (with a real
+//! branch predictor and misprediction stalls), rename/steering,
+//! per-cluster issue, inter-cluster operand transfers on a contended
+//! interconnect, the LSQ/cache hierarchy of either cache model, and
+//! in-order commit — with the active-cluster count under the control
+//! of a [`ReconfigPolicy`].
+//!
+//! # Module layout
+//!
+//! This module holds the shared machine state ([`Processor`]) and the
+//! cycle loop ([`Processor::run`]/`step_cycle`); each pipeline stage
+//! lives in its own submodule operating on that state:
+//!
+//! - `events` — the sharded event queues and every event handler
+//!   (writeback, address resolution, LSQ arrival, store broadcast).
+//! - `commit` — in-order retirement, policy requests, and
+//!   reconfiguration.
+//! - `issue` — per-cluster select/issue with quiescence skipping.
+//! - `dispatch` — rename, steering, and structural-hazard checks.
+//! - `fetch` — branch prediction and the fetch queue.
+//!
+//! # Sharding and quiescence
+//!
+//! The event queue is sharded per physical cluster and the issue stage
+//! keeps a bitmask of clusters with queued instructions, so a cycle's
+//! cost scales with the *busy* clusters, not the configured width:
+//! quiescent clusters — including every cluster beyond the active
+//! count — are skipped in O(1). Event order is still the global
+//! `(time, tick)` order of a single queue, so the computed schedule is
+//! bit-identical to the pre-sharding simulator (see DESIGN.md and the
+//! oracle pin in `tests/shard_equivalence.rs`).
+
+mod commit;
+mod dispatch;
+mod events;
+mod fetch;
+mod issue;
+
+use crate::bankpred::BankPredictor;
+use crate::bpred::BranchPredictor;
+use crate::cache::MemHierarchy;
+use crate::cluster::{Cluster, FuGroup};
+use crate::config::{CacheModel, ConfigError, SimConfig, MAX_CLUSTERS};
+use crate::crit::CriticalityPredictor;
+use crate::interconnect::Interconnect;
+use crate::lsq::LsqSlice;
+use crate::observe::{NullObserver, SimObserver};
+use crate::reconfig::ReconfigPolicy;
+use crate::stats::SimStats;
+use crate::steer::{Steering, SteeringKind};
+use clustered_emu::DynInst;
+use clustered_isa::{ArchReg, OpClass};
+use events::EventShards;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+const ABSENT: u64 = u64::MAX;
+
+/// Waiter slot marking a store's data operand.
+const STORE_VALUE_SLOT: u8 = 2;
+
+/// A simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// No instruction committed for a long time — an internal modelling
+    /// bug rather than a program property.
+    Stalled {
+        /// The cycle at which progress stopped.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => e.fmt(f),
+            SimError::Stalled { cycle } => {
+                write!(f, "pipeline made no progress near cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
+}
+
+#[derive(Debug)]
+struct Fetched {
+    d: DynInst,
+    fetched_at: u64,
+    mispredicted: bool,
+}
+
+#[derive(Debug)]
+struct RobEntry {
+    d: DynInst,
+    class: OpClass,
+    cluster: usize,
+    dest: Option<ArchReg>,
+    /// Physical register to free at commit: (cluster, domain index).
+    frees: Option<(usize, usize)>,
+    srcs_outstanding: u8,
+    /// When each gating source operand arrived (criticality training).
+    src_arrival: [u64; 2],
+    /// Which gating source slots this instruction has.
+    src_present: [bool; 2],
+    ready_at: u64,
+    done: bool,
+    done_at: u64,
+    distant: bool,
+    mispredicted: bool,
+    /// Cycles-per-cluster availability of this entry's result.
+    copies: [u64; MAX_CLUSTERS],
+    /// Consumers waiting on this result: (seq, cluster, source slot —
+    /// 0/1 for issue-gating operands, [`STORE_VALUE_SLOT`] for a
+    /// store's data).
+    waiters: Vec<(u64, usize, u8)>,
+    /// Stores: cycle the AGU produced the address (`ABSENT` until then).
+    agu_done: u64,
+    /// Stores: cycle the data value is available in the store's cluster
+    /// (`ABSENT` until known).
+    store_value_at: u64,
+    /// Memory: resolved bank and its cluster.
+    bank: usize,
+    bank_cluster: usize,
+    /// LSQ slice the entry's slot was allocated in.
+    alloc_slice: usize,
+    /// Active cluster count when dispatched.
+    active_at_dispatch: usize,
+}
+
+/// The simulated processor.
+///
+/// Generic over the dynamic-instruction source and over an observer
+/// receiving per-event callbacks; see the crate-level documentation
+/// for a complete example. The default [`NullObserver`] costs nothing
+/// — its empty hooks monomorphize away.
+pub struct Processor<T, O = NullObserver> {
+    cfg: SimConfig,
+    trace: T,
+    policy: Box<dyn ReconfigPolicy>,
+    net: Interconnect,
+    mem: MemHierarchy,
+    bpred: BranchPredictor,
+    bankpred: BankPredictor,
+    crit: CriticalityPredictor,
+    steering: Steering,
+    clusters: Vec<Cluster>,
+    lsq: Vec<LsqSlice>,
+    rob: VecDeque<RobEntry>,
+    rename: [Option<u64>; 64],
+    arch_home: [usize; 64],
+    arch_avail: [[u64; MAX_CLUSTERS]; 64],
+    fetch_queue: VecDeque<Fetched>,
+    fetch_stall_until: u64,
+    awaiting_redirect: bool,
+    dispatch_stall_until: u64,
+    trace_done: bool,
+    /// Reused issue-selection scratch buffer.
+    selected: Vec<(u64, FuGroup, usize)>,
+    /// Per-cluster event queues in one global `(time, tick)` order.
+    events: EventShards,
+    /// Bit `c` set ⇔ cluster `c` has queued (dispatched, operands
+    /// ready or pending) instructions; the issue stage visits only set
+    /// bits. Maintained by [`Processor::cluster_enqueue`] and the
+    /// issue loop.
+    queued_mask: u32,
+    /// Loads whose forwarding store has not produced its data yet, as
+    /// (store seq, load seq, LSQ slice) in arrival order. Bounded by
+    /// LSQ capacity and near-empty in practice, so a flat vector beats
+    /// the former per-load hash map: no hashing on the store
+    /// writeback path and no per-store `Vec` allocation.
+    loads_waiting_data: Vec<(u64, u64, usize)>,
+    /// Scratch for draining `loads_waiting_data` matches without
+    /// holding a borrow across `proceed_load`.
+    waiting_scratch: Vec<(u64, usize)>,
+    /// Reused rename-time scratch for (producer seq, source slot)
+    /// waiter registrations.
+    pending_waits: Vec<(u64, u8)>,
+    /// Recycled waiter vectors: consumers lists drained at writeback
+    /// keep their capacity for future ROB entries instead of being
+    /// reallocated once per producing instruction.
+    waiter_pool: Vec<Vec<(u64, usize, u8)>>,
+    now: u64,
+    active: usize,
+    pending_reconfig: Option<usize>,
+    reconfig_request: Option<usize>,
+    stats: SimStats,
+    observer: O,
+}
+
+/// Occupancy of the machine's structures at one instant (see
+/// [`Processor::occupancy_snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// Re-order-buffer entries in flight.
+    pub rob: usize,
+    /// Fetch-queue entries waiting to dispatch.
+    pub fetch_queue: usize,
+    /// Clusters currently enabled; the per-cluster vectors below cover
+    /// exactly these.
+    pub active: usize,
+    /// Free physical registers per *active* cluster, `[int, fp]`.
+    pub free_regs: Vec<[usize; 2]>,
+    /// Issue-queue entries in use per *active* cluster, `[int, fp]`.
+    pub iq_used: Vec<[usize; 2]>,
+    /// Load/store-queue slots in use per slice. All slices are
+    /// reported — a slice beyond `active` should be empty, so a
+    /// non-zero count there is itself diagnostic.
+    pub lsq_used: Vec<usize>,
+}
+
+/// Rounds a requested cluster count to the nearest legal value: in
+/// `1..=total`, and — when `pow2` (the decentralized model, whose bank
+/// interleaving masks addresses) — a power of two, rounding down.
+fn legal_cluster_count(request: usize, total: usize, pow2: bool) -> usize {
+    let clamped = request.clamp(1, total);
+    if !pow2 || clamped.is_power_of_two() {
+        clamped
+    } else {
+        clamped.next_power_of_two() / 2
+    }
+}
+
+impl<T: Iterator<Item = DynInst>> Processor<T> {
+    /// Builds a processor over `trace` governed by `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if `cfg` fails validation.
+    pub fn new(
+        cfg: SimConfig,
+        trace: T,
+        policy: Box<dyn ReconfigPolicy>,
+    ) -> Result<Processor<T>, SimError> {
+        Self::with_steering(cfg, trace, policy, SteeringKind::default())
+    }
+
+    /// Builds a processor with an explicit steering heuristic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if `cfg` fails validation.
+    pub fn with_steering(
+        cfg: SimConfig,
+        trace: T,
+        policy: Box<dyn ReconfigPolicy>,
+        steering: SteeringKind,
+    ) -> Result<Processor<T>, SimError> {
+        Processor::with_observer(cfg, trace, policy, steering, NullObserver)
+    }
+}
+
+impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+    /// Builds a processor whose pipeline events are reported to
+    /// `observer` (see [`SimObserver`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if `cfg` fails validation.
+    pub fn with_observer(
+        cfg: SimConfig,
+        trace: T,
+        policy: Box<dyn ReconfigPolicy>,
+        steering: SteeringKind,
+        observer: O,
+    ) -> Result<Processor<T, O>, SimError> {
+        cfg.validate()?;
+        let count = cfg.clusters.count;
+        // Architectural registers are homed round-robin across the
+        // physical clusters and occupy a register there.
+        let mut reserved = [[0usize; 2]; MAX_CLUSTERS];
+        let mut arch_home = [0usize; 64];
+        for r in 0..64 {
+            let home = r % count;
+            arch_home[r] = home;
+            reserved[home][usize::from(r >= 32)] += 1;
+        }
+        let clusters: Vec<Cluster> = (0..count)
+            .map(|c| Cluster::new(&cfg.clusters, reserved[c][0], reserved[c][1]))
+            .collect();
+        let lsq = match cfg.cache.model {
+            CacheModel::Centralized => vec![LsqSlice::new(cfg.cache.lsq_per_cluster * count)],
+            CacheModel::Decentralized => {
+                (0..count).map(|_| LsqSlice::new(cfg.cache.lsq_per_cluster)).collect()
+            }
+        };
+        let initial = legal_cluster_count(
+            policy.initial_clusters(),
+            count,
+            cfg.cache.model == CacheModel::Decentralized,
+        );
+        Ok(Processor {
+            net: Interconnect::new(&cfg.interconnect, count),
+            mem: MemHierarchy::new(&cfg.cache, count),
+            bpred: BranchPredictor::new(&cfg.bpred),
+            bankpred: BankPredictor::new(&cfg.bankpred),
+            crit: CriticalityPredictor::new(cfg.crit.table_size),
+            steering: Steering::new(steering),
+            clusters,
+            lsq,
+            rob: VecDeque::with_capacity(cfg.frontend.rob_size),
+            rename: [None; 64],
+            arch_home,
+            arch_avail: [[0; MAX_CLUSTERS]; 64],
+            fetch_queue: VecDeque::with_capacity(cfg.frontend.fetch_queue),
+            fetch_stall_until: 0,
+            awaiting_redirect: false,
+            dispatch_stall_until: 0,
+            trace_done: false,
+            selected: Vec::new(),
+            events: EventShards::new(count),
+            queued_mask: 0,
+            loads_waiting_data: Vec::new(),
+            waiting_scratch: Vec::new(),
+            pending_waits: Vec::new(),
+            waiter_pool: Vec::new(),
+            now: 0,
+            active: initial,
+            pending_reconfig: None,
+            reconfig_request: None,
+            stats: SimStats::default(),
+            observer,
+            cfg,
+            trace,
+            policy,
+        })
+    }
+
+    /// Accumulated statistics (monotonic; snapshot and use
+    /// [`SimStats::delta_since`] to measure an interval).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The attached observer, mutably (e.g. to drain collected data
+    /// between measurement windows).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// The currently active cluster count.
+    pub fn active_clusters(&self) -> usize {
+        self.active
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// A snapshot of structure occupancies, for debugging and
+    /// introspection. The per-cluster vectors cover only the `active`
+    /// clusters — disabled clusters hold no instructions, and
+    /// reporting their idle resources made `diag` output misleading.
+    pub fn occupancy_snapshot(&self) -> OccupancySnapshot {
+        let enabled = &self.clusters[..self.active];
+        OccupancySnapshot {
+            rob: self.rob.len(),
+            fetch_queue: self.fetch_queue.len(),
+            active: self.active,
+            free_regs: enabled.iter().map(|c| c.free_regs).collect(),
+            iq_used: enabled.iter().map(|c| c.iq_used).collect(),
+            lsq_used: self.lsq.iter().map(LsqSlice::occupancy).collect(),
+        }
+    }
+
+    /// Whether the instruction source is exhausted and the pipeline
+    /// has drained.
+    pub fn finished(&self) -> bool {
+        self.trace_done && self.fetch_queue.is_empty() && self.rob.is_empty()
+    }
+
+    /// Runs until `instructions` more have committed, the trace ends,
+    /// or an error occurs. Returns the statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Stalled`] if the pipeline stops making progress (an
+    /// internal invariant violation, not a program property).
+    pub fn run(&mut self, instructions: u64) -> Result<SimStats, SimError> {
+        let target = self.stats.committed + instructions;
+        let mut last_progress = (self.stats.committed, self.now);
+        while self.stats.committed < target && !self.finished() {
+            self.step_cycle();
+            if self.stats.committed != last_progress.0 {
+                last_progress = (self.stats.committed, self.now);
+            } else if self.now - last_progress.1 > 1_000_000 {
+                return Err(SimError::Stalled { cycle: self.now });
+            }
+        }
+        Ok(self.stats)
+    }
+
+    /// Advances the machine one cycle.
+    fn step_cycle(&mut self) {
+        self.now += 1;
+        self.drain_events();
+        self.commit();
+        self.apply_reconfig();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.stats.cycles += 1;
+        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        self.stats.active_cluster_cycles += self.active as u64;
+        self.stats.cycles_at_config[self.active - 1] += 1;
+        self.observer.on_cycle(self.now, self.active, self.rob.len());
+    }
+
+    /// Index of in-flight instruction `seq` in the ROB, or `None` if
+    /// it is not there (already committed, or never dispatched).
+    ///
+    /// Invariant: every `seq` held by the scheduler — event payloads,
+    /// rename-map entries, waiter lists, issue selections — names an
+    /// in-flight ROB entry, with one deliberate exception: store
+    /// broadcasts (`EventKind::StoreResolved`) may land after their
+    /// store committed. Callers on that path treat `None` as "already
+    /// committed"; everywhere else `None` means the simulator state is
+    /// corrupt, which is a `debug_assert` at the call site and a
+    /// dropped event — never a panic — in release builds.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let head = self.rob.front()?.d.seq;
+        let idx = seq.checked_sub(head)? as usize;
+        (idx < self.rob.len()).then_some(idx)
+    }
+
+    /// Queues `seq` for issue in `cluster` and marks the cluster
+    /// non-quiescent. Every enqueue must come through here so
+    /// `queued_mask` stays in sync with the clusters' queues.
+    fn cluster_enqueue(&mut self, cluster: usize, group: FuGroup, ready_at: u64, seq: u64) {
+        self.clusters[cluster].enqueue(group, ready_at, seq);
+        self.queued_mask |= 1 << cluster;
+    }
+}
+
+impl<T, O> fmt::Debug for Processor<T, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Processor")
+            .field("cycle", &self.now)
+            .field("active", &self.active)
+            .field("committed", &self.stats.committed)
+            .field("rob_occupancy", &self.rob.len())
+            .field("policy", &self.policy.name())
+            .finish_non_exhaustive()
+    }
+}

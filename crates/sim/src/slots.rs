@@ -5,36 +5,46 @@
 //! arbitrary *simulation* order but may target future cycles (a fill
 //! returning in 30 cycles reserves its return trip now), so a simple
 //! monotonic "next free" watermark would serialise unrelated requests
-//! behind far-future reservations. Instead every resource keeps the
-//! set of reserved cycles within a sliding horizon and grants the
-//! first free cycle at or after the requested time.
+//! behind far-future reservations. Instead every resource remembers
+//! which cycles within a sliding window are taken and grants the first
+//! free cycle at or after the requested time.
+//!
+//! The window is a cycle-stamped ring: slot `t % WINDOW` of a resource
+//! holds the exact cycle it was last reserved for, so "is cycle `t`
+//! taken" is one array compare (`ring[t % WINDOW] == t`) and stale
+//! entries from a window ago can never false-positive. Reservations
+//! are probed only near the current simulation time (the farthest
+//! lookahead is a memory round trip, far below [`WINDOW`]), the same
+//! assumption the previous tree-based implementation made when pruning
+//! old entries.
 
-use std::collections::BTreeSet;
-
-/// How far behind the most recent grant old reservations are kept
-/// before being pruned.
-const PRUNE_HORIZON: u64 = 8192;
+/// Sliding-window length in cycles; must be a power of two and larger
+/// than any scheduling lookahead.
+const WINDOW: usize = 8192;
 
 /// Per-resource one-slot-per-cycle reservation tracking.
 #[derive(Debug, Clone, Default)]
 pub struct SlotReservations {
-    resources: Vec<BTreeSet<u64>>,
+    /// `ring[r * WINDOW + (t & (WINDOW-1))] == t` ⇔ cycle `t` of
+    /// resource `r` is reserved; `u64::MAX` means never reserved.
+    ring: Vec<u64>,
+    resources: usize,
 }
 
 impl SlotReservations {
     /// Creates `n` empty resources.
     pub fn new(n: usize) -> SlotReservations {
-        SlotReservations { resources: vec![BTreeSet::new(); n] }
+        SlotReservations { ring: vec![u64::MAX; n * WINDOW], resources: n }
     }
 
     /// Number of resources tracked.
     pub fn len(&self) -> usize {
-        self.resources.len()
+        self.resources
     }
 
     /// Whether no resources are tracked.
     pub fn is_empty(&self) -> bool {
-        self.resources.is_empty()
+        self.resources == 0
     }
 
     /// Reserves the first free cycle of resource `idx` at or after
@@ -43,23 +53,16 @@ impl SlotReservations {
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
+    #[inline]
     pub fn reserve(&mut self, idx: usize, earliest: u64) -> u64 {
-        let set = &mut self.resources[idx];
+        assert!(idx < self.resources, "resource index out of range");
+        let base = idx * WINDOW;
+        let ring = &mut self.ring[base..base + WINDOW];
         let mut t = earliest;
-        while set.contains(&t) {
+        while ring[t as usize & (WINDOW - 1)] == t {
             t += 1;
         }
-        set.insert(t);
-        // Prune reservations far in the past; they can never conflict
-        // with future requests (simulation time only moves forward,
-        // modulo the small scheduling lookahead).
-        while let Some(&oldest) = set.first() {
-            if oldest + PRUNE_HORIZON < t {
-                set.pop_first();
-            } else {
-                break;
-            }
-        }
+        ring[t as usize & (WINDOW - 1)] = t;
         t
     }
 }
@@ -94,11 +97,27 @@ mod tests {
     }
 
     #[test]
-    fn pruning_keeps_sets_bounded() {
+    fn old_reservations_age_out_of_the_window() {
+        let mut s = SlotReservations::new(1);
+        assert_eq!(s.reserve(0, 5), 5);
+        // A full window later the same ring slot is reusable.
+        let later = 5 + WINDOW as u64;
+        assert_eq!(s.reserve(0, later), later);
+        assert_eq!(s.reserve(0, later), later + 1);
+    }
+
+    #[test]
+    fn long_runs_stay_correct() {
         let mut s = SlotReservations::new(1);
         for t in 0..100_000u64 {
-            s.reserve(0, t);
+            assert_eq!(s.reserve(0, t), t);
         }
-        assert!(s.resources[0].len() < 2 * PRUNE_HORIZON as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_index() {
+        let mut s = SlotReservations::new(1);
+        let _ = s.reserve(1, 0);
     }
 }

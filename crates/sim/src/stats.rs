@@ -73,6 +73,14 @@ pub struct SimStats {
     /// Sum over cycles of ROB occupancy (divide by `cycles` for the
     /// mean window depth).
     pub rob_occupancy_sum: u64,
+    /// Sum over cycles of clusters the issue stage skipped as
+    /// quiescent (no queued instructions) — including every cluster
+    /// beyond the active count. With `cluster_busy_cycles` this
+    /// partitions `cycles × configured clusters`.
+    pub quiescent_cluster_cycles: u64,
+    /// Cycles each cluster had queued instructions and was visited by
+    /// the issue stage, indexed by cluster.
+    pub cluster_busy_cycles: [u64; MAX_CLUSTERS],
 }
 
 impl SimStats {
@@ -192,6 +200,10 @@ impl SimStats {
         d.dispatch_stall_rob -= earlier.dispatch_stall_rob;
         d.dispatch_stall_resources -= earlier.dispatch_stall_resources;
         d.rob_occupancy_sum -= earlier.rob_occupancy_sum;
+        d.quiescent_cluster_cycles -= earlier.quiescent_cluster_cycles;
+        for i in 0..MAX_CLUSTERS {
+            d.cluster_busy_cycles[i] -= earlier.cluster_busy_cycles[i];
+        }
         d
     }
 
@@ -232,8 +244,11 @@ impl SimStats {
             dispatch_stall_rob,
             dispatch_stall_resources,
             rob_occupancy_sum,
+            quiescent_cluster_cycles,
+            cluster_busy_cycles,
         } = *self;
         let config_cycles: Vec<Json> = cycles_at_config.iter().map(|&c| Json::from(c)).collect();
+        let busy_cycles: Vec<Json> = cluster_busy_cycles.iter().map(|&c| Json::from(c)).collect();
         Json::object()
             .set("cycles", cycles)
             .set("committed", committed)
@@ -276,6 +291,8 @@ impl SimStats {
                     .set("resources", dispatch_stall_resources),
             )
             .set("rob_occupancy_sum", rob_occupancy_sum)
+            .set("quiescent_cluster_cycles", quiescent_cluster_cycles)
+            .set("cluster_busy_cycles", Json::Arr(busy_cycles))
     }
 }
 
@@ -308,6 +325,10 @@ mod tests {
         for (i, c) in cycles_at_config.iter_mut().enumerate() {
             *c = (100 + i as u64) * m;
         }
+        let mut cluster_busy_cycles = [0u64; MAX_CLUSTERS];
+        for (i, c) in cluster_busy_cycles.iter_mut().enumerate() {
+            *c = (200 + i as u64) * m;
+        }
         SimStats {
             cycles: m,
             committed: 2 * m,
@@ -338,6 +359,8 @@ mod tests {
             dispatch_stall_rob: 26 * m,
             dispatch_stall_resources: 27 * m,
             rob_occupancy_sum: 28 * m,
+            quiescent_cluster_cycles: 29 * m,
+            cluster_busy_cycles,
         }
     }
 
@@ -399,6 +422,10 @@ mod tests {
         assert_eq!(stalls.get("fetch").and_then(Json::as_f64), Some(25.0));
         assert_eq!(stalls.get("rob").and_then(Json::as_f64), Some(26.0));
         assert_eq!(stalls.get("resources").and_then(Json::as_f64), Some(27.0));
+        assert_eq!(j.get("quiescent_cluster_cycles").and_then(Json::as_f64), Some(29.0));
+        let busy = j.get("cluster_busy_cycles").and_then(Json::as_arr).unwrap();
+        assert_eq!(busy.len(), MAX_CLUSTERS);
+        assert_eq!(busy[1].as_f64(), Some(201.0));
         // Infinite mispredict interval (no mispredicts) serializes as
         // null rather than invalid JSON.
         let none = SimStats { committed: 10, ..SimStats::default() };

@@ -45,6 +45,8 @@ const STATS_KEYS: &[&str] = &[
     "cycles_at_config",
     "dispatch_stalls",
     "rob_occupancy_sum",
+    "quiescent_cluster_cycles",
+    "cluster_busy_cycles",
 ];
 
 #[test]
