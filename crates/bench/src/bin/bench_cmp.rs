@@ -1,0 +1,71 @@
+//! `bench-cmp`: diff two bench harness JSON files with a noise
+//! threshold; exit nonzero on regression.
+//!
+//! ```text
+//! bench-cmp BASELINE.json CURRENT.json [--threshold 0.25] [--metric min] [--json]
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = regression (or a baseline case
+//! missing from the current results), 2 = usage or I/O error. CI runs
+//! this against the committed `results/BENCH_*.json` trajectory (see
+//! `scripts/ci.sh`).
+
+use clustered_bench::cmp::{compare_files, CmpMetric, DEFAULT_THRESHOLD};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench-cmp BASELINE.json CURRENT.json \
+                     [--threshold FRACTION] [--metric min|median|mean] [--json]";
+
+fn run() -> Result<bool, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut metric = CmpMetric::default();
+    let mut as_json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("invalid threshold `{v}` (fraction, e.g. 0.25)"))?;
+            }
+            "--metric" => {
+                metric = CmpMetric::from_arg(&args.next().ok_or("--metric needs a value")?)?;
+            }
+            "--json" => as_json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    let [baseline, current] = files.as_slice() else {
+        return Err(format!("expected exactly two files\n{USAGE}"));
+    };
+    let cmp = compare_files(baseline, current, metric, threshold)?;
+    if as_json {
+        println!("{}", cmp.to_json().to_string_pretty());
+    } else {
+        print!("{}", cmp.render());
+    }
+    Ok(cmp.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("bench-cmp: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

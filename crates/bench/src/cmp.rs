@@ -1,0 +1,335 @@
+//! Benchmark regression comparison: the logic behind the `bench-cmp`
+//! binary, which diffs two harness JSON documents (the
+//! `BENCH_*.json` schema written via `CLUSTERED_BENCH_JSON`) with a
+//! noise threshold.
+//!
+//! The committed `results/BENCH_*.json` trajectory records the repo's
+//! performance history; this module turns it into an enforceable
+//! contract. `scripts/ci.sh` runs `bench-cmp` so a change that slows a
+//! benchmarked case past the threshold fails the build instead of
+//! silently eroding the PR-5 sharding wins.
+
+use clustered_stats::{json, Json};
+
+/// Default relative slowdown tolerated before a case counts as a
+/// regression: generous because CI boxes are noisy and smoke runs use
+/// few samples, while genuine algorithmic regressions are usually far
+/// larger.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// Which per-case statistic to compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CmpMetric {
+    /// `min_ns` — the noise-robust default (matches the repo's bench
+    /// reporting convention).
+    #[default]
+    Min,
+    /// `median_ns`.
+    Median,
+    /// `mean_ns`.
+    Mean,
+}
+
+impl CmpMetric {
+    /// Parses `min`/`median`/`mean`.
+    pub fn from_arg(s: &str) -> Result<CmpMetric, String> {
+        match s {
+            "min" => Ok(CmpMetric::Min),
+            "median" => Ok(CmpMetric::Median),
+            "mean" => Ok(CmpMetric::Mean),
+            other => Err(format!("unknown metric `{other}` (expected min, median, or mean)")),
+        }
+    }
+
+    /// The JSON key this metric reads from each case.
+    pub fn key(self) -> &'static str {
+        match self {
+            CmpMetric::Min => "min_ns",
+            CmpMetric::Median => "median_ns",
+            CmpMetric::Mean => "mean_ns",
+        }
+    }
+}
+
+/// One case present in both documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseDelta {
+    /// Case name.
+    pub name: String,
+    /// Metric value in the baseline document, nanoseconds.
+    pub baseline_ns: u64,
+    /// Metric value in the current document, nanoseconds.
+    pub current_ns: u64,
+}
+
+impl CaseDelta {
+    /// `current / baseline`; >1 is slower. A zero baseline compares as
+    /// 1.0 (no meaningful ratio from a 0 ns measurement).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_ns == 0 {
+            1.0
+        } else {
+            self.current_ns as f64 / self.baseline_ns as f64
+        }
+    }
+}
+
+/// The outcome of comparing two harness documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Relative slowdown tolerated before a case regresses.
+    pub threshold: f64,
+    /// The compared statistic.
+    pub metric: CmpMetric,
+    /// Cases present in both documents, in baseline order.
+    pub rows: Vec<CaseDelta>,
+    /// Baseline cases absent from the current document — a dropped
+    /// benchmark hides regressions, so this fails the comparison.
+    pub missing: Vec<String>,
+    /// Current cases absent from the baseline (informational only).
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// Cases slower than `1 + threshold` times their baseline.
+    pub fn regressions(&self) -> Vec<&CaseDelta> {
+        self.rows.iter().filter(|r| r.ratio() > 1.0 + self.threshold).collect()
+    }
+
+    /// True when nothing regressed and no baseline case disappeared.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty() && self.missing.is_empty()
+    }
+
+    /// A human-readable report, one line per case plus a verdict.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench-cmp: metric {} threshold {:.0}%",
+            self.metric.key(),
+            self.threshold * 100.0
+        );
+        for r in &self.rows {
+            let ratio = r.ratio();
+            let verdict = if ratio > 1.0 + self.threshold { "REGRESSED" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>12} -> {:>12} ns  {:>7.3}x  {}",
+                r.name, r.baseline_ns, r.current_ns, ratio, verdict
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "  {name:<40} MISSING from current results");
+        }
+        for name in &self.added {
+            let _ = writeln!(out, "  {name:<40} new case (not compared)");
+        }
+        let _ = writeln!(out, "bench-cmp: {}", if self.passed() { "PASS" } else { "FAIL" });
+        out
+    }
+
+    /// The report as one JSON document.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::object()
+                    .set("name", r.name.as_str())
+                    .set("baseline_ns", r.baseline_ns)
+                    .set("current_ns", r.current_ns)
+                    .set("ratio", r.ratio())
+                    .set("regressed", r.ratio() > 1.0 + self.threshold)
+            })
+            .collect();
+        let missing: Vec<Json> = self.missing.iter().map(|n| Json::from(n.as_str())).collect();
+        let added: Vec<Json> = self.added.iter().map(|n| Json::from(n.as_str())).collect();
+        Json::object()
+            .set("metric", self.metric.key())
+            .set("threshold", self.threshold)
+            .set("cases", Json::Arr(rows))
+            .set("missing", Json::Arr(missing))
+            .set("added", Json::Arr(added))
+            .set("passed", self.passed())
+    }
+}
+
+/// Extracts `(name, metric)` pairs from a harness document's `cases`
+/// array, in document order.
+fn cases_of(doc: &Json, metric: CmpMetric, which: &str) -> Result<Vec<(String, u64)>, String> {
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{which}: not a bench harness document (no `cases` array)"))?;
+    let mut out = Vec::with_capacity(cases.len());
+    for (i, case) in cases.iter().enumerate() {
+        let name = case
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{which}: case {i} has no `name`"))?;
+        let value = case
+            .get(metric.key())
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{which}: case `{name}` has no `{}`", metric.key()))?;
+        out.push((name.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Compares two parsed harness documents.
+///
+/// # Errors
+///
+/// Returns a message when either document lacks the harness schema
+/// (`cases` array of objects with `name` and the metric key).
+pub fn compare_docs(
+    baseline: &Json,
+    current: &Json,
+    metric: CmpMetric,
+    threshold: f64,
+) -> Result<Comparison, String> {
+    let base = cases_of(baseline, metric, "baseline")?;
+    let cur = cases_of(current, metric, "current")?;
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (name, baseline_ns) in &base {
+        match cur.iter().find(|(n, _)| n == name) {
+            Some(&(_, current_ns)) => {
+                rows.push(CaseDelta { name: name.clone(), baseline_ns: *baseline_ns, current_ns })
+            }
+            None => missing.push(name.clone()),
+        }
+    }
+    let added = cur
+        .iter()
+        .filter(|(n, _)| !base.iter().any(|(b, _)| b == n))
+        .map(|(n, _)| n.clone())
+        .collect();
+    Ok(Comparison { threshold, metric, rows, missing, added })
+}
+
+/// Reads and compares two harness JSON files.
+///
+/// # Errors
+///
+/// Returns a message on unreadable files, invalid JSON, or a
+/// non-harness schema.
+pub fn compare_files(
+    baseline: &std::path::Path,
+    current: &std::path::Path,
+    metric: CmpMetric,
+    threshold: f64,
+) -> Result<Comparison, String> {
+    let read = |p: &std::path::Path, which: &str| -> Result<Json, String> {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("{which} {}: {e}", p.display()))?;
+        json::parse(&text).map_err(|e| format!("{which} {}: invalid JSON: {e}", p.display()))
+    };
+    let b = read(baseline, "baseline")?;
+    let c = read(current, "current")?;
+    compare_docs(&b, &c, metric, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(cases: &[(&str, u64)]) -> Json {
+        let arr: Vec<Json> = cases
+            .iter()
+            .map(|&(name, ns)| {
+                Json::object()
+                    .set("name", name)
+                    .set("min_ns", ns)
+                    .set("median_ns", ns + 1)
+                    .set("mean_ns", ns + 2)
+                    .set("samples", 5u64)
+            })
+            .collect();
+        Json::object().set("suite", "test").set("cases", Json::Arr(arr))
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(&[("a", 100), ("b", 2_000)]);
+        let c = compare_docs(&d, &d, CmpMetric::Min, 0.05).unwrap();
+        assert!(c.passed());
+        assert_eq!(c.rows.len(), 2);
+        assert!(c.regressions().is_empty());
+        assert!(c.render().contains("PASS"));
+    }
+
+    #[test]
+    fn slowdown_past_threshold_regresses_and_within_noise_passes() {
+        let base = doc(&[("a", 1_000), ("b", 1_000)]);
+        let cur = doc(&[("a", 1_040), ("b", 1_300)]);
+        let c = compare_docs(&base, &cur, CmpMetric::Min, 0.10).unwrap();
+        assert!(!c.passed());
+        let regressed: Vec<&str> = c.regressions().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(regressed, vec!["b"], "4% is noise at a 10% threshold; 30% is not");
+        assert!(c.render().contains("REGRESSED"));
+        // Speedups never fail, no matter how large.
+        let fast = doc(&[("a", 10), ("b", 10)]);
+        assert!(compare_docs(&base, &fast, CmpMetric::Min, 0.10).unwrap().passed());
+    }
+
+    #[test]
+    fn missing_baseline_case_fails_and_added_case_is_informational() {
+        let base = doc(&[("a", 100), ("b", 100)]);
+        let cur = doc(&[("a", 100), ("c", 100)]);
+        let c = compare_docs(&base, &cur, CmpMetric::Min, 0.25).unwrap();
+        assert!(!c.passed(), "a dropped benchmark hides regressions");
+        assert_eq!(c.missing, vec!["b"]);
+        assert_eq!(c.added, vec!["c"]);
+        assert_eq!(c.rows.len(), 1);
+    }
+
+    #[test]
+    fn metric_selection_reads_the_right_key() {
+        let base = doc(&[("a", 1_000)]);
+        // Perturb only median: min comparison passes, median fails.
+        let cur = Json::object().set("suite", "test").set(
+            "cases",
+            Json::Arr(vec![Json::object()
+                .set("name", "a")
+                .set("min_ns", 1_000u64)
+                .set("median_ns", 9_000u64)
+                .set("mean_ns", 1_002u64)
+                .set("samples", 5u64)]),
+        );
+        assert!(compare_docs(&base, &cur, CmpMetric::Min, 0.10).unwrap().passed());
+        assert!(!compare_docs(&base, &cur, CmpMetric::Median, 0.10).unwrap().passed());
+        assert_eq!(CmpMetric::from_arg("mean").unwrap(), CmpMetric::Mean);
+        assert!(CmpMetric::from_arg("max").is_err());
+    }
+
+    #[test]
+    fn zero_baseline_compares_as_unity() {
+        let base = doc(&[("a", 0)]);
+        let cur = doc(&[("a", 50)]);
+        let c = compare_docs(&base, &cur, CmpMetric::Min, 0.10).unwrap();
+        assert!(c.passed(), "a 0 ns baseline yields no meaningful ratio");
+        assert_eq!(c.rows[0].ratio(), 1.0);
+    }
+
+    #[test]
+    fn non_harness_documents_are_rejected_with_context() {
+        let err = compare_docs(&Json::object(), &doc(&[]), CmpMetric::Min, 0.1).unwrap_err();
+        assert!(err.contains("baseline"), "error names the offending side: {err}");
+        let err = compare_docs(&doc(&[]), &Json::object(), CmpMetric::Min, 0.1).unwrap_err();
+        assert!(err.contains("current"), "error names the offending side: {err}");
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let base = doc(&[("a", 1_000)]);
+        let cur = doc(&[("a", 2_000)]);
+        let c = compare_docs(&base, &cur, CmpMetric::Min, 0.25).unwrap();
+        let j = c.to_json();
+        assert_eq!(j.get("passed"), Some(&Json::Bool(false)));
+        let reparsed = clustered_stats::json::parse(&j.to_string_pretty()).unwrap();
+        assert_eq!(reparsed, j);
+    }
+}

@@ -9,6 +9,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cmp;
 pub mod harness;
 pub mod sweep;
 

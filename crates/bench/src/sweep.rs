@@ -19,9 +19,13 @@
 //! `CLUSTERED_JOBS=n` overrides it (`CLUSTERED_JOBS=1` forces the
 //! serial path).
 //!
-//! Long grids are silent by default; set `CLUSTERED_PROGRESS=1` to get
-//! one stderr line per completed point (completion count, label, and
-//! per-point wall time) as the sweep runs.
+//! Long grids are silent by default. Set `CLUSTERED_PROGRESS=1` to get
+//! one stderr line per completed point (completion count, label,
+//! per-point wall time, cumulative elapsed, and an ETA extrapolated
+//! from completed-point throughput) as the sweep runs — or set it to a
+//! path ending in `.jsonl` to append one structured heartbeat record
+//! per completion instead (schema in EXPERIMENTS.md), the stream a
+//! sweep coordinator can consume.
 //!
 //! # Examples
 //!
@@ -212,20 +216,184 @@ pub fn run_point_decisions(point: &SweepPoint) -> RunWithDecisions {
     run
 }
 
-/// Whether per-point progress lines go to stderr
-/// (`CLUSTERED_PROGRESS=1`).
-fn progress_enabled() -> bool {
-    progress_enabled_from(std::env::var("CLUSTERED_PROGRESS").ok().as_deref())
+/// Where per-point progress reports go, decided by
+/// `CLUSTERED_PROGRESS`:
+///
+/// * `1` — one human-readable stderr line per completed point;
+/// * a path ending in `.jsonl` — one structured heartbeat JSON object
+///   per line, appended to that file (the stream the future sweep
+///   coordinator consumes);
+/// * anything else (unset, `0`, empty, junk) — silence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProgressMode {
+    Off,
+    Stderr,
+    Jsonl(std::path::PathBuf),
 }
 
-/// The pure decision seam behind [`progress_enabled`], unit-testable
-/// without mutating the process environment.
+/// The pure decision seam behind the progress sink, unit-testable
+/// without mutating the process environment. Leading/trailing
+/// whitespace is ignored; an unrecognised value is `Off`, never an
+/// error — progress is best-effort observability.
+fn progress_mode_from(value: Option<&str>) -> ProgressMode {
+    match value.map(str::trim) {
+        Some("1") => ProgressMode::Stderr,
+        Some(v) if v.len() > ".jsonl".len() && v.ends_with(".jsonl") => {
+            ProgressMode::Jsonl(std::path::PathBuf::from(v))
+        }
+        _ => ProgressMode::Off,
+    }
+}
+
+/// Whether `CLUSTERED_PROGRESS` selects the human-readable stderr
+/// lines (the original boolean seam, kept for its edge-case tests).
+#[cfg(test)]
 fn progress_enabled_from(value: Option<&str>) -> bool {
-    value == Some("1")
+    progress_mode_from(value) == ProgressMode::Stderr
 }
 
-fn report_progress(done: usize, total: usize, label: &str, seconds: f64) {
-    eprintln!("clustered-sweep: [{done}/{total}] {label} ({seconds:.2}s)");
+/// Remaining wall-clock estimate from completed-point throughput:
+/// `elapsed / done` per point times the points left. `None` until the
+/// first point completes (no throughput to extrapolate from).
+fn eta_seconds(elapsed: f64, done: usize, total: usize) -> Option<f64> {
+    if done == 0 {
+        return None;
+    }
+    Some(elapsed / done as f64 * total.saturating_sub(done) as f64)
+}
+
+/// One structured heartbeat record (see EXPERIMENTS.md, "Sweep
+/// heartbeats").
+#[allow(clippy::too_many_arguments)]
+fn heartbeat_json(
+    label: &str,
+    worker: usize,
+    done: usize,
+    total: usize,
+    point_s: f64,
+    elapsed_s: f64,
+    sim_cycles: Option<u64>,
+) -> clustered_stats::Json {
+    use clustered_stats::Json;
+    let eta = eta_seconds(elapsed_s, done, total);
+    let per_s = sim_cycles
+        .filter(|_| point_s > 0.0)
+        .map(|c| c as f64 / point_s);
+    Json::object()
+        .set("event", "point")
+        .set("label", label)
+        .set("worker", worker)
+        .set("done", done)
+        .set("total", total)
+        .set("point_s", point_s)
+        .set("elapsed_s", elapsed_s)
+        .set("eta_s", eta.map_or(Json::Null, Json::from))
+        .set("sim_cycles", sim_cycles.map_or(Json::Null, Json::from))
+        .set("sim_cycles_per_s", per_s.map_or(Json::Null, Json::from))
+}
+
+/// The per-sweep progress reporter: formats stderr lines or appends
+/// heartbeat JSONL, per [`ProgressMode`]. All failures are soft — a
+/// progress stream that cannot be written must never kill a sweep.
+struct ProgressSink {
+    mode: ProgressMode,
+    started: Instant,
+    total: usize,
+    file: Option<std::fs::File>,
+}
+
+impl ProgressSink {
+    fn new(total: usize, workers: usize) -> ProgressSink {
+        let (mode, file) =
+            match progress_mode_from(std::env::var("CLUSTERED_PROGRESS").ok().as_deref()) {
+                ProgressMode::Jsonl(path) => {
+                    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                        Ok(f) => (ProgressMode::Jsonl(path), Some(f)),
+                        Err(e) => {
+                            eprintln!(
+                                "clustered-sweep: cannot open progress stream {}: {e}",
+                                path.display()
+                            );
+                            (ProgressMode::Off, None)
+                        }
+                    }
+                }
+                other => (other, None),
+            };
+        let mut sink = ProgressSink { mode, started: Instant::now(), total, file };
+        if matches!(sink.mode, ProgressMode::Jsonl(_)) {
+            sink.emit(
+                clustered_stats::Json::object()
+                    .set("event", "sweep_start")
+                    .set("total", total)
+                    .set("workers", workers),
+            );
+        }
+        sink
+    }
+
+    fn emit(&mut self, line: clustered_stats::Json) {
+        use std::io::Write;
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{}", line.to_string_compact());
+        }
+    }
+
+    fn point(&mut self, done: usize, label: &str, worker: usize, point_s: f64, sim_cycles: Option<u64>) {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        match self.mode {
+            ProgressMode::Off => {}
+            ProgressMode::Stderr => {
+                let eta = match eta_seconds(elapsed, done, self.total) {
+                    Some(s) => format!("{s:.1}s"),
+                    None => "?".to_string(),
+                };
+                eprintln!(
+                    "clustered-sweep: [{done}/{total}] {label} ({point_s:.2}s point, \
+                     {elapsed:.1}s elapsed, eta {eta})",
+                    total = self.total,
+                );
+            }
+            ProgressMode::Jsonl(_) => {
+                let line =
+                    heartbeat_json(label, worker, done, self.total, point_s, elapsed, sim_cycles);
+                self.emit(line);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if matches!(self.mode, ProgressMode::Jsonl(_)) {
+            let line = clustered_stats::Json::object()
+                .set("event", "sweep_end")
+                .set("total", self.total)
+                .set("elapsed_s", self.started.elapsed().as_secs_f64());
+            self.emit(line);
+        }
+    }
+}
+
+/// Per-point result types the sweep executor can report throughput
+/// for: the heartbeat stream quotes `sim_cycles()` (when known) as
+/// sim-cycles/sec per completed point.
+pub trait SweepOutcome {
+    /// Simulated cycles of the point's measured window, if the result
+    /// carries them.
+    fn sim_cycles(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl SweepOutcome for SimStats {
+    fn sim_cycles(&self) -> Option<u64> {
+        Some(self.cycles)
+    }
+}
+
+impl SweepOutcome for RunWithDecisions {
+    fn sim_cycles(&self) -> Option<u64> {
+        Some(self.stats.cycles)
+    }
 }
 
 /// Runs every point on the calling thread, in order.
@@ -255,39 +423,41 @@ pub fn run_sweep_jobs(points: &[SweepPoint], jobs: usize) -> Vec<SimStats> {
 ///
 /// [`run_sweep`] is `run_sweep_with(points, jobs(), run_point)`; pass
 /// [`run_point_decisions`] to collect decision telemetry per point, or
-/// any custom closure. With `CLUSTERED_PROGRESS=1` each completed
-/// point logs one stderr line as it finishes, in completion (not
-/// input) order.
+/// any custom closure whose result implements [`SweepOutcome`]. With
+/// `CLUSTERED_PROGRESS=1` each completed point logs one stderr line
+/// (with cumulative elapsed time and an ETA) as it finishes, in
+/// completion (not input) order; with `CLUSTERED_PROGRESS=<path>.jsonl`
+/// the same completions stream as structured heartbeat records instead.
 ///
 /// # Panics
 ///
 /// Propagates panics from worker threads.
 pub fn run_sweep_with<R, F>(points: &[SweepPoint], jobs: usize, runner: F) -> Vec<R>
 where
-    R: Send,
+    R: Send + SweepOutcome,
     F: Fn(&SweepPoint) -> R + Sync,
 {
     let n = points.len();
-    let progress = progress_enabled();
     let workers = jobs.min(n).max(1);
+    let mut sink = ProgressSink::new(n, workers);
     if workers <= 1 {
         let mut out = Vec::with_capacity(n);
         for (i, point) in points.iter().enumerate() {
             let started = Instant::now();
             out.push(runner(point));
-            if progress {
-                report_progress(i + 1, n, &point.label, started.elapsed().as_secs_f64());
-            }
+            let cycles = out.last().expect("just pushed").sim_cycles();
+            sink.point(i + 1, &point.label, 0, started.elapsed().as_secs_f64(), cycles);
         }
+        sink.finish();
         return out;
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R, f64)>();
+    let (tx, rx) = mpsc::channel::<(usize, usize, R, f64)>();
     let runner = &runner;
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let mut filled = 0usize;
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
             scope.spawn(move || loop {
@@ -297,7 +467,7 @@ where
                 }
                 let started = Instant::now();
                 let result = runner(&points[i]);
-                if tx.send((i, result, started.elapsed().as_secs_f64())).is_err() {
+                if tx.send((w, i, result, started.elapsed().as_secs_f64())).is_err() {
                     break;
                 }
             });
@@ -305,14 +475,14 @@ where
         drop(tx);
         // Drain on the calling thread while workers run, so progress
         // lines appear live rather than after the final barrier.
-        for (i, result, seconds) in rx {
+        for (w, i, result, seconds) in rx {
+            let cycles = result.sim_cycles();
             out[i] = Some(result);
             filled += 1;
-            if progress {
-                report_progress(filled, n, &points[i].label, seconds);
-            }
+            sink.point(filled, &points[i].label, w, seconds, cycles);
         }
     });
+    sink.finish();
     assert_eq!(filled, n, "sweep lost results (worker thread died?)");
     out.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
@@ -324,9 +494,72 @@ mod tests {
     #[test]
     fn progress_flag_requires_exactly_one() {
         assert!(progress_enabled_from(Some("1")));
+        assert!(progress_enabled_from(Some(" 1 ")), "whitespace is trimmed");
         assert!(!progress_enabled_from(Some("0")));
         assert!(!progress_enabled_from(Some("yes")));
         assert!(!progress_enabled_from(Some("")));
+        assert!(!progress_enabled_from(Some("   ")));
+        assert!(!progress_enabled_from(Some("11")));
+        assert!(!progress_enabled_from(Some("true")));
+        assert!(!progress_enabled_from(Some("progress.jsonl")), "jsonl selects the stream mode");
         assert!(!progress_enabled_from(None));
+    }
+
+    #[test]
+    fn progress_mode_distinguishes_stderr_jsonl_and_off() {
+        use super::ProgressMode::*;
+        assert_eq!(progress_mode_from(Some("1")), Stderr);
+        assert_eq!(
+            progress_mode_from(Some("/tmp/hb.jsonl")),
+            Jsonl(std::path::PathBuf::from("/tmp/hb.jsonl"))
+        );
+        assert_eq!(
+            progress_mode_from(Some("  run.jsonl\n")),
+            Jsonl(std::path::PathBuf::from("run.jsonl")),
+            "whitespace trimmed before the suffix check"
+        );
+        for junk in [None, Some("0"), Some(""), Some("  "), Some("2"), Some(".jsonl"), Some("x")] {
+            assert_eq!(progress_mode_from(junk), Off, "junk value {junk:?} must be Off");
+        }
+    }
+
+    #[test]
+    fn eta_extrapolates_from_completed_point_throughput() {
+        assert_eq!(eta_seconds(10.0, 0, 4), None, "no throughput before the first point");
+        assert_eq!(eta_seconds(10.0, 2, 4), Some(10.0), "2 done in 10s -> 2 left in 10s");
+        assert_eq!(eta_seconds(9.0, 3, 3), Some(0.0), "done sweep has nothing left");
+        assert_eq!(eta_seconds(5.0, 4, 3), Some(0.0), "overshoot saturates, never negative");
+    }
+
+    #[test]
+    fn heartbeat_record_has_the_documented_schema() {
+        use clustered_stats::Json;
+        let line = heartbeat_json("gzip/4", 2, 3, 8, 0.5, 6.0, Some(40_000));
+        assert_eq!(
+            line.keys().unwrap(),
+            vec![
+                "event",
+                "label",
+                "worker",
+                "done",
+                "total",
+                "point_s",
+                "elapsed_s",
+                "eta_s",
+                "sim_cycles",
+                "sim_cycles_per_s"
+            ]
+        );
+        assert_eq!(line.get("event").and_then(Json::as_str), Some("point"));
+        assert_eq!(line.get("eta_s").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(line.get("sim_cycles_per_s").and_then(Json::as_f64), Some(80_000.0));
+        // Every line parses back — the stream is consumable by the
+        // stats crate's own parser.
+        let reparsed = clustered_stats::json::parse(&line.to_string_compact()).unwrap();
+        assert_eq!(reparsed, line);
+        // A runner without cycle counts degrades to nulls, not lies.
+        let bare = heartbeat_json("p", 0, 1, 1, 0.0, 0.0, None);
+        assert_eq!(bare.get("sim_cycles"), Some(&Json::Null));
+        assert_eq!(bare.get("sim_cycles_per_s"), Some(&Json::Null));
     }
 }

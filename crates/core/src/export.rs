@@ -25,8 +25,13 @@
 //! microseconds: one trace "µs" is one cycle.
 
 use crate::recording::TimelineEntry;
-use clustered_sim::{DecisionRecord, MetricsObserver};
+use clustered_sim::{DecisionRecord, HostProfiler, HostStage, MetricsObserver};
 use clustered_stats::Json;
+
+/// Trace thread-id base for the host-profile stage tracks: stage `i`
+/// renders on tid `HOST_TID_BASE + i`, clear of the guest tracks
+/// (0 = configurations, 1 = flushes).
+pub const HOST_TID_BASE: u64 = 100;
 
 /// Renders a recorded timeline as JSON Lines: one object per interval
 /// with `committed`, `instructions`, `cycles`, `ipc`, `branches`,
@@ -141,6 +146,100 @@ pub fn chrome_trace(m: &MetricsObserver) -> Json {
         events.push(counter_event("instability", d.cycle, "instability", d.instability));
     }
     Json::Arr(events)
+}
+
+fn metadata_event(name: &str, tid: u64, value: &str) -> Json {
+    Json::object()
+        .set("name", name)
+        .set("ph", "M")
+        .set("ts", 0u64)
+        .set("pid", 0u64)
+        .set("tid", tid)
+        .set("args", Json::object().set("name", value))
+}
+
+/// Appends the host-profile events for `p` to `events`: per-slice
+/// `"ph": "X"` spans on one track per stage, `"ph": "C"` queue-depth
+/// counters, and `"ph": "M"` metadata naming the process after `label`
+/// (an arbitrary workload string — the serializer escapes it).
+fn push_host_events(events: &mut Vec<Json>, p: &HostProfiler, label: &str) {
+    events.push(metadata_event("process_name", 0, &format!("clustered host profile: {label}")));
+    for (i, stage) in HostStage::ALL.iter().enumerate() {
+        events.push(metadata_event(
+            "thread_name",
+            HOST_TID_BASE + i as u64,
+            &format!("host {}", stage.as_str()),
+        ));
+    }
+    for s in p.slices() {
+        for (i, stage) in HostStage::ALL.iter().enumerate() {
+            events.push(duration_event(
+                format!("host {}", stage.as_str()),
+                s.start_cycle,
+                s.end_cycle - s.start_cycle,
+                HOST_TID_BASE + i as u64,
+                Json::object().set("nanos", s.stage_nanos[i]),
+            ));
+        }
+        events.push(counter_event(
+            "host calendar events",
+            s.end_cycle,
+            "events",
+            s.calendar_events as f64,
+        ));
+        events.push(counter_event(
+            "host overflow events",
+            s.end_cycle,
+            "events",
+            s.overflow_events as f64,
+        ));
+        events.push(counter_event(
+            "host busy clusters",
+            s.end_cycle,
+            "clusters",
+            f64::from(s.busy_clusters),
+        ));
+    }
+}
+
+/// A [`HostProfiler`]'s timeline as a standalone Chrome trace-event
+/// array: one `"ph": "X"` span per stage per slice (tracks
+/// [`HOST_TID_BASE`]+stage), `"ph": "C"` counter tracks for
+/// calendar/overflow queue depth and busy clusters, and metadata
+/// events naming the tracks. Timestamps are simulated cycles, as in
+/// [`chrome_trace`].
+pub fn host_chrome_trace(p: &HostProfiler, label: &str) -> Json {
+    let mut events = Vec::new();
+    push_host_events(&mut events, p, label);
+    Json::Arr(events)
+}
+
+/// [`chrome_trace`] plus the host-profile tracks of
+/// [`host_chrome_trace`] in one document: guest configuration spans,
+/// reconfigurations, flushes, and decision counters interleaved with
+/// host stage-time spans and queue-depth counters on their own tracks.
+pub fn chrome_trace_with_host(m: &MetricsObserver, p: &HostProfiler, label: &str) -> Json {
+    let Json::Arr(mut events) = chrome_trace(m) else {
+        unreachable!("chrome_trace returns an array");
+    };
+    push_host_events(&mut events, p, label);
+    Json::Arr(events)
+}
+
+/// One `host_profile` JSON document: run metadata and throughput
+/// (sim-cycles/sec) wrapped around [`HostProfiler::to_json`]'s stage
+/// shares, queue histograms, and skew summary. The schema is
+/// documented in EXPERIMENTS.md.
+pub fn host_profile_json(p: &HostProfiler, label: &str, wall_seconds: f64) -> Json {
+    let cycles = p.cycles();
+    let per_sec =
+        if wall_seconds > 0.0 { cycles as f64 / wall_seconds } else { 0.0 };
+    Json::object()
+        .set("workload", label)
+        .set("wall_seconds", wall_seconds)
+        .set("sim_cycles", cycles)
+        .set("sim_cycles_per_sec", per_sec)
+        .set("profile", p.to_json())
 }
 
 #[cfg(test)]
@@ -345,6 +444,148 @@ mod tests {
         assert_eq!(second.get("branch_delta").and_then(Json::as_f64), Some(-5.0));
         assert_eq!(second.get("clusters").and_then(Json::as_u64), Some(8));
         assert!(decisions_jsonl(&[]).is_empty());
+    }
+
+    /// Drives a [`HostProfiler`] by hand through two 10-cycle slices.
+    fn profiled_host() -> HostProfiler {
+        use clustered_sim::QueueHealth;
+        let mut p = HostProfiler::new(10);
+        for cycle in 1..=20u64 {
+            p.on_stage_nanos(&[40, 30, 20, 5, 4, 1]);
+            p.on_event_drained((cycle % 2) as usize);
+            p.on_queue_health(&QueueHealth {
+                cycle,
+                calendar_events: 5,
+                overflow_events: 1,
+                floor: cycle,
+                queued_mask: 0b111,
+                active_clusters: 4,
+                configured_clusters: 16,
+            });
+        }
+        p
+    }
+
+    /// Golden round-trip for the combined trace: host `ph:"X"` stage
+    /// spans and `ph:"C"` queue-depth counters mixed with the existing
+    /// guest spans/instants/counters, with a workload label that needs
+    /// JSON string escaping.
+    #[test]
+    fn combined_host_and_guest_trace_round_trips() {
+        use clustered_sim::{DecisionReason, DecisionRecord, PolicyState};
+        let mut m = observed_run();
+        m.on_decision(&DecisionRecord {
+            interval: 1,
+            commit: 10_000,
+            start_cycle: 1,
+            cycle: 200,
+            state: PolicyState::Stable,
+            ipc: 0.5,
+            branch_delta: 0,
+            memref_delta: 0,
+            instability: 0.0,
+            explored_ipc: Vec::new(),
+            interval_length: 10_000,
+            clusters: 8,
+            reason: DecisionReason::StableNoChange,
+        });
+        let label = "gzip \"ref\"\\input\n(tab\there)";
+        let trace = chrome_trace_with_host(&m, &profiled_host(), label);
+
+        // The serialized document survives a parse round trip even with
+        // quotes, backslashes, and control characters in the label.
+        let text = trace.to_string_compact();
+        let reparsed = json::parse(&text).expect("valid trace JSON");
+        assert_eq!(reparsed, trace);
+        let events = reparsed.as_arr().expect("trace is an array");
+
+        // Guest population (4 span/instant/flush + 3 counters) is
+        // untouched; host adds 7 metadata + 2 slices × (6 spans + 3
+        // counters).
+        assert_eq!(events.len(), 7 + 7 + 2 * 9);
+        let host_spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("tid").and_then(Json::as_u64).is_some_and(|t| t >= HOST_TID_BASE)
+            })
+            .collect();
+        assert_eq!(host_spans.len(), 12, "6 stage spans per slice");
+        assert_eq!(
+            host_spans[0].get("name").and_then(Json::as_str),
+            Some("host event_drain")
+        );
+        assert_eq!(host_spans[0].get("ts").and_then(Json::as_u64), Some(0));
+        assert_eq!(host_spans[0].get("dur").and_then(Json::as_u64), Some(10));
+        assert_eq!(
+            host_spans[0].get("args").and_then(|a| a.get("nanos")).and_then(Json::as_u64),
+            Some(400),
+            "10 cycles × 40 ns of event drain"
+        );
+
+        // Queue-depth counters land on their own ph:"C" tracks at the
+        // slice ends, alongside (not replacing) the guest counters.
+        let counter_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        for name in
+            ["active clusters", "host calendar events", "host overflow events", "host busy clusters"]
+        {
+            assert!(counter_names.contains(&name), "missing counter track {name}");
+        }
+
+        // The escaped label reappears intact after the round trip.
+        let process = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .expect("process_name metadata");
+        assert_eq!(
+            process.get("args").and_then(|a| a.get("name")).and_then(Json::as_str),
+            Some(format!("clustered host profile: {label}").as_str())
+        );
+    }
+
+    #[test]
+    fn standalone_host_trace_has_only_host_events() {
+        let trace = host_chrome_trace(&profiled_host(), "plain");
+        let events = trace.as_arr().expect("array");
+        assert_eq!(events.len(), 7 + 2 * 9);
+        for e in events {
+            let tid = e.get("tid").and_then(Json::as_u64);
+            let ph = e.get("ph").and_then(Json::as_str);
+            assert!(
+                ph == Some("C") || tid.is_some_and(|t| t >= HOST_TID_BASE) || tid == Some(0),
+                "unexpected event {e:?}"
+            );
+        }
+        let reparsed = json::parse(&trace.to_string_pretty()).expect("valid trace JSON");
+        assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn host_profile_json_reports_throughput_and_shares() {
+        let p = profiled_host();
+        let doc = host_profile_json(&p, "gzip", 0.5);
+        assert_eq!(doc.get("workload").and_then(Json::as_str), Some("gzip"));
+        assert_eq!(doc.get("sim_cycles").and_then(Json::as_u64), Some(20));
+        assert_eq!(doc.get("sim_cycles_per_sec").and_then(Json::as_f64), Some(40.0));
+        let stages = doc.get("profile").and_then(|p| p.get("stages")).expect("stage table");
+        let share_sum: f64 = stages
+            .keys()
+            .expect("object")
+            .iter()
+            .filter_map(|k| stages.get(k).and_then(|s| s.get("share")).and_then(Json::as_f64))
+            .sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "stage shares sum to 1, got {share_sum}");
+        // Degenerate wall time must not divide by zero.
+        assert_eq!(
+            host_profile_json(&p, "gzip", 0.0)
+                .get("sim_cycles_per_sec")
+                .and_then(Json::as_f64),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -55,6 +55,9 @@ mod recording;
 
 pub use distant::{IntervalDistantIlp, IntervalDistantIlpConfig};
 pub use explore::{IntervalExplore, IntervalExploreConfig};
-pub use export::{chrome_trace, decisions_jsonl, timeline_jsonl};
+pub use export::{
+    chrome_trace, chrome_trace_with_host, decisions_jsonl, host_chrome_trace, host_profile_json,
+    timeline_jsonl, HOST_TID_BASE,
+};
 pub use finegrain::{FineGrain, FineGrainConfig, Trigger};
 pub use recording::{Recording, TimelineEntry};

@@ -56,6 +56,7 @@ mod crit;
 mod decision;
 mod energy;
 mod fxhash;
+mod host;
 mod interconnect;
 mod lsq;
 mod observe;
@@ -76,6 +77,10 @@ pub use config::{
     BankPredParams, BpredParams, CacheModel, CacheParams, ClusterParams, ConfigError,
     CritParams, ExecLatencies, FrontendParams, InterconnectParams, SimConfig, Topology,
     MAX_CLUSTERS,
+};
+pub use host::{
+    HostProfiler, HostSlice, HostStage, QueueHealth, DEFAULT_SAMPLE_INTERVAL, DEFAULT_SLICE_CAP,
+    HOST_STAGE_COUNT,
 };
 pub use interconnect::Interconnect;
 pub use lsq::LsqSlice;

@@ -58,6 +58,20 @@ pub trait SimObserver {
     /// preserving the bit-identical zero-cost property.
     const WANTS_DECISIONS: bool = false;
 
+    /// Whether the simulator should run the *host-profiled* cycle loop
+    /// for this observer.
+    ///
+    /// When `true` the pipeline reads a monotonic clock around each
+    /// stage and delivers [`on_stage_nanos`](SimObserver::on_stage_nanos),
+    /// [`on_queue_health`](SimObserver::on_queue_health) and
+    /// [`on_event_drained`](SimObserver::on_event_drained) every cycle.
+    /// The default `false` selects the unmodified loop, so profiling
+    /// costs nothing unless an observer (like
+    /// [`HostProfiler`](crate::HostProfiler)) opts in — and either way
+    /// simulated behaviour is untouched: the hooks only *read* machine
+    /// state.
+    const WANTS_HOST_PROFILE: bool = false;
+
     /// End of one simulated cycle.
     #[inline(always)]
     fn on_cycle(&mut self, cycle: u64, active_clusters: usize, rob_occupancy: usize) {
@@ -117,6 +131,31 @@ pub trait SimObserver {
     #[inline(always)]
     fn on_decision(&mut self, decision: &DecisionRecord) {
         let _ = decision;
+    }
+
+    /// Wall-clock nanoseconds the host spent in each cycle-loop stage
+    /// this cycle, in [`HostStage::ALL`](crate::HostStage::ALL) order.
+    ///
+    /// Only delivered when [`Self::WANTS_HOST_PROFILE`] is `true`.
+    #[inline(always)]
+    fn on_stage_nanos(&mut self, nanos: &[u64; crate::host::HOST_STAGE_COUNT]) {
+        let _ = nanos;
+    }
+
+    /// End-of-cycle sample of calendar-queue and quiescence health.
+    ///
+    /// Only delivered when [`Self::WANTS_HOST_PROFILE`] is `true`.
+    #[inline(always)]
+    fn on_queue_health(&mut self, sample: &crate::host::QueueHealth) {
+        let _ = sample;
+    }
+
+    /// One event was drained from calendar shard `shard`.
+    ///
+    /// Only delivered when [`Self::WANTS_HOST_PROFILE`] is `true`.
+    #[inline(always)]
+    fn on_event_drained(&mut self, shard: usize) {
+        let _ = shard;
     }
 }
 

@@ -235,7 +235,9 @@ impl EventShards {
         self.next_due = self.next_due.min(time);
     }
 
-    /// Pops the globally earliest event if it is due at `now`.
+    /// Pops the globally earliest event if it is due at `now`,
+    /// returning it with the shard it waited in (the host profiler's
+    /// load-skew attribution key).
     ///
     /// Scans the head of every non-empty shard for the minimum
     /// `(time, tick)`; ticks are globally unique, so the winner is
@@ -243,7 +245,7 @@ impl EventShards {
     /// Returns `None` — after refreshing `next_due` exactly — once
     /// nothing is due, so the caller's next idle cycle is a single
     /// comparison.
-    fn pop_due(&mut self, now: u64) -> Option<EventKind> {
+    fn pop_due(&mut self, now: u64) -> Option<(usize, EventKind)> {
         if self.next_due > now {
             return None;
         }
@@ -267,7 +269,7 @@ impl EventShards {
                     if self.shards[c].len == 0 {
                         self.mask &= !(1 << c);
                     }
-                    return Some(kind);
+                    return Some((c, kind));
                 }
                 other => {
                     // Nothing due in the calendars; `t` and the overflow
@@ -289,6 +291,14 @@ impl EventShards {
             }
         }
     }
+
+    /// Queue-health snapshot for the host profiler:
+    /// `(calendar_events, overflow_events, floor)`. O(shards) — only
+    /// called from the profiled cycle loop.
+    pub(super) fn health(&self) -> (usize, usize, u64) {
+        let calendar: usize = self.shards.iter().map(|s| s.len).sum();
+        (calendar, self.overflow.len(), self.floor)
+    }
 }
 
 impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
@@ -300,7 +310,10 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
     }
 
     pub(super) fn drain_events(&mut self) {
-        while let Some(kind) = self.events.pop_due(self.now) {
+        while let Some((shard, kind)) = self.events.pop_due(self.now) {
+            if O::WANTS_HOST_PROFILE {
+                self.observer.on_event_drained(shard);
+            }
             match kind {
                 EventKind::WriteBack { seq } => self.writeback(seq),
                 EventKind::LoadAddr { seq } => self.load_addr(seq),
@@ -623,7 +636,7 @@ mod tests {
         s.push(2, 5, wb(3)); // tick 3: earlier time → first
         s.push(1, 10, wb(4)); // tick 4
         let mut order = Vec::new();
-        while let Some(kind) = s.pop_due(u64::MAX) {
+        while let Some((_, kind)) = s.pop_due(u64::MAX) {
             order.push(kind);
         }
         assert_eq!(order, vec![wb(3), wb(1), wb(2), wb(4)]);
@@ -636,10 +649,10 @@ mod tests {
         s.push(1, 3, wb(2));
         assert_eq!(s.pop_due(2), None, "nothing due before cycle 3");
         assert_eq!(s.next_due, 3, "scan refreshed the frontier exactly");
-        assert_eq!(s.pop_due(3), Some(wb(2)));
+        assert_eq!(s.pop_due(3), Some((1, wb(2))));
         assert_eq!(s.pop_due(3), None);
         assert_eq!(s.next_due, 7);
-        assert_eq!(s.pop_due(7), Some(wb(1)));
+        assert_eq!(s.pop_due(7), Some((0, wb(1))));
         assert_eq!(s.pop_due(u64::MAX), None);
         assert_eq!(s.mask, 0, "drained shards leave the frontier");
         assert_eq!(s.next_due, u64::MAX);
@@ -651,9 +664,9 @@ mod tests {
     fn same_cycle_chains_are_visible() {
         let mut s = EventShards::new(2);
         s.push(0, 4, wb(1));
-        assert_eq!(s.pop_due(4), Some(wb(1)));
+        assert_eq!(s.pop_due(4), Some((0, wb(1))));
         s.push(1, 4, wb(2)); // a handler scheduling for the same cycle
-        assert_eq!(s.pop_due(4), Some(wb(2)));
+        assert_eq!(s.pop_due(4), Some((1, wb(2))));
         assert_eq!(s.pop_due(4), None);
     }
 
@@ -664,12 +677,12 @@ mod tests {
     fn calendar_ring_wrap_keeps_time_order() {
         let mut s = EventShards::new(1);
         s.push(0, 4000, wb(1));
-        assert_eq!(s.pop_due(4000), Some(wb(1)));
+        assert_eq!(s.pop_due(4000), Some((0, wb(1))));
         assert_eq!(s.pop_due(4000), None); // floor advances to 4001
         s.push(0, super::CAL_WINDOW as u64 - 1, wb(2)); // bucket 4095
         s.push(0, 5000, wb(3)); // bucket 5000 % 4096 = 904, wrapped
-        assert_eq!(s.pop_due(5000), Some(wb(2)));
-        assert_eq!(s.pop_due(5000), Some(wb(3)));
+        assert_eq!(s.pop_due(5000), Some((0, wb(2))));
+        assert_eq!(s.pop_due(5000), Some((0, wb(3))));
         assert_eq!(s.pop_due(5000), None);
     }
 
@@ -681,10 +694,10 @@ mod tests {
         let mut s = EventShards::new(2);
         s.push(1, far, wb(1)); // beyond the window: parked
         s.push(0, 10, wb(2));
-        assert_eq!(s.pop_due(10), Some(wb(2)));
+        assert_eq!(s.pop_due(10), Some((0, wb(2))));
         assert_eq!(s.pop_due(far - 1), None);
         assert_eq!(s.next_due, far, "overflow head drives the frontier");
-        assert_eq!(s.pop_due(far), Some(wb(1)));
+        assert_eq!(s.pop_due(far), Some((1, wb(1))), "returns with the shard it waited in");
         assert_eq!(s.pop_due(u64::MAX), None);
         assert_eq!(s.mask, 0);
     }
@@ -697,12 +710,29 @@ mod tests {
         let mut s = EventShards::new(1);
         s.push(0, far, wb(1)); // tick 1: parked in overflow
         s.push(0, 5, wb(2));
-        assert_eq!(s.pop_due(5), Some(wb(2))); // floor: 5
+        assert_eq!(s.pop_due(5), Some((0, wb(2)))); // floor: 5
         s.push(0, far - 5, wb(3)); // advances nothing: different bucket
-        assert_eq!(s.pop_due(far - 5), Some(wb(3))); // floor: far - 5
+        assert_eq!(s.pop_due(far - 5), Some((0, wb(3)))); // floor: far - 5
         s.push(0, far, wb(4)); // tick 4, same cycle: wb(1) must migrate first
-        assert_eq!(s.pop_due(far), Some(wb(1)));
-        assert_eq!(s.pop_due(far), Some(wb(4)));
+        assert_eq!(s.pop_due(far), Some((0, wb(1))));
+        assert_eq!(s.pop_due(far), Some((0, wb(4))));
         assert_eq!(s.pop_due(far), None);
+    }
+
+    /// `health()` reports calendar occupancy, overflow depth, and the
+    /// floor watermark — the profiler's queue-health sample.
+    #[test]
+    fn health_snapshot_tracks_calendars_overflow_and_floor() {
+        let mut s = EventShards::new(2);
+        assert_eq!(s.health(), (0, 0, 0));
+        s.push(0, 5, wb(1));
+        s.push(1, 9, wb(2));
+        s.push(1, 2 * super::CAL_WINDOW as u64, wb(3)); // parked
+        assert_eq!(s.health(), (2, 1, 0));
+        assert_eq!(s.pop_due(5), Some((0, wb(1))));
+        assert_eq!(s.pop_due(5), None); // floor rises past `now`
+        let (calendar, overflow, floor) = s.health();
+        assert_eq!((calendar, overflow), (1, 1));
+        assert!(floor > 5, "floor advances with the drain");
     }
 }

@@ -414,7 +414,21 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
     }
 
     /// Advances the machine one cycle.
+    ///
+    /// `WANTS_HOST_PROFILE` is a `const`, so each monomorphization
+    /// keeps exactly one of the two loop bodies: the default
+    /// [`NullObserver`](crate::NullObserver) build compiles to
+    /// [`step_cycle_plain`](Self::step_cycle_plain) — byte-for-byte the
+    /// pre-profiler loop — and pays nothing for the instrumentation.
     fn step_cycle(&mut self) {
+        if O::WANTS_HOST_PROFILE {
+            self.step_cycle_profiled();
+        } else {
+            self.step_cycle_plain();
+        }
+    }
+
+    fn step_cycle_plain(&mut self) {
         self.now += 1;
         self.drain_events();
         self.commit();
@@ -427,6 +441,51 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
         self.stats.active_cluster_cycles += self.active as u64;
         self.stats.cycles_at_config[self.active - 1] += 1;
         self.observer.on_cycle(self.now, self.active, self.rob.len());
+    }
+
+    /// The same cycle as [`step_cycle_plain`](Self::step_cycle_plain),
+    /// bracketed by monotonic-clock reads so each stage's wall-clock is
+    /// attributed to its bucket. The stage sequence and every simulated
+    /// effect are identical — the timers and the end-of-cycle health
+    /// sample only *read* state — so profiled `SimStats` match the
+    /// plain loop bit for bit (pinned by the host-profile tests).
+    fn step_cycle_profiled(&mut self) {
+        use crate::host::{QueueHealth, HOST_STAGE_COUNT};
+        use std::time::Instant;
+        self.now += 1;
+        let mut marks = [Instant::now(); HOST_STAGE_COUNT + 1];
+        self.drain_events();
+        marks[1] = Instant::now();
+        self.commit();
+        self.apply_reconfig();
+        marks[2] = Instant::now();
+        self.issue();
+        marks[3] = Instant::now();
+        self.dispatch();
+        marks[4] = Instant::now();
+        self.fetch();
+        marks[5] = Instant::now();
+        self.stats.cycles += 1;
+        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        self.stats.active_cluster_cycles += self.active as u64;
+        self.stats.cycles_at_config[self.active - 1] += 1;
+        self.observer.on_cycle(self.now, self.active, self.rob.len());
+        marks[6] = Instant::now();
+        let mut nanos = [0u64; HOST_STAGE_COUNT];
+        for (i, n) in nanos.iter_mut().enumerate() {
+            *n = marks[i + 1].duration_since(marks[i]).as_nanos() as u64;
+        }
+        self.observer.on_stage_nanos(&nanos);
+        let (calendar_events, overflow_events, floor) = self.events.health();
+        self.observer.on_queue_health(&QueueHealth {
+            cycle: self.now,
+            calendar_events,
+            overflow_events,
+            floor,
+            queued_mask: self.queued_mask,
+            active_clusters: self.active,
+            configured_clusters: self.clusters.len(),
+        });
     }
 
     /// Index of in-flight instruction `seq` in the ROB, or `None` if

@@ -200,9 +200,25 @@ impl SimStats {
         d.dispatch_stall_rob -= earlier.dispatch_stall_rob;
         d.dispatch_stall_resources -= earlier.dispatch_stall_resources;
         d.rob_occupancy_sum -= earlier.rob_occupancy_sum;
-        d.quiescent_cluster_cycles -= earlier.quiescent_cluster_cycles;
+        // The quiescence counters use saturating subtraction: they were
+        // added after the other fields, so snapshots serialized by
+        // older tooling can deserialize with zeros here while the rest
+        // of the struct is ordered correctly — a raw `-=` would wrap in
+        // release builds and poison every downstream rate. Mismatched
+        // snapshots are still a caller bug, asserted in debug builds.
+        debug_assert!(
+            self.quiescent_cluster_cycles >= earlier.quiescent_cluster_cycles,
+            "snapshots out of order: quiescent_cluster_cycles went backwards"
+        );
+        d.quiescent_cluster_cycles =
+            self.quiescent_cluster_cycles.saturating_sub(earlier.quiescent_cluster_cycles);
         for i in 0..MAX_CLUSTERS {
-            d.cluster_busy_cycles[i] -= earlier.cluster_busy_cycles[i];
+            debug_assert!(
+                self.cluster_busy_cycles[i] >= earlier.cluster_busy_cycles[i],
+                "snapshots out of order: cluster_busy_cycles[{i}] went backwards"
+            );
+            d.cluster_busy_cycles[i] =
+                self.cluster_busy_cycles[i].saturating_sub(earlier.cluster_busy_cycles[i]);
         }
         d
     }
@@ -371,6 +387,43 @@ mod tests {
         // its 3× value and fail the whole-struct comparison.
         let d = filled(3).delta_since(&filled(1));
         assert_eq!(d, filled(2));
+    }
+
+    /// Mismatched snapshots (an "earlier" whose quiescence counters are
+    /// *ahead*) must trip the ordering assertion in debug builds rather
+    /// than wrap — the regression this guards was a raw `-=`.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "quiescent_cluster_cycles went backwards")]
+    fn delta_since_rejects_mismatched_quiescence_snapshots() {
+        let mut later = filled(2);
+        let earlier = filled(2);
+        later.quiescent_cluster_cycles = earlier.quiescent_cluster_cycles - 1;
+        let _ = later.delta_since(&earlier);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cluster_busy_cycles[0] went backwards")]
+    fn delta_since_rejects_mismatched_busy_cycle_snapshots() {
+        let mut later = filled(2);
+        let earlier = filled(2);
+        later.cluster_busy_cycles[0] = earlier.cluster_busy_cycles[0] - 1;
+        let _ = later.delta_since(&earlier);
+    }
+
+    /// In release builds the same mismatch saturates to zero instead of
+    /// wrapping to ~u64::MAX and poisoning every derived rate.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn delta_since_saturates_mismatched_quiescence_snapshots() {
+        let mut later = filled(2);
+        let earlier = filled(2);
+        later.quiescent_cluster_cycles = earlier.quiescent_cluster_cycles - 1;
+        later.cluster_busy_cycles[0] = earlier.cluster_busy_cycles[0] - 1;
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.quiescent_cluster_cycles, 0);
+        assert_eq!(d.cluster_busy_cycles[0], 0);
     }
 
     #[test]

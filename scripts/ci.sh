@@ -42,6 +42,33 @@ for policy in explore distant branch; do
     test -s "$CACHE_TMP/$policy.jsonl"
 done
 
+echo "==> perf smoke (host profiler end to end)"
+# A short profiled run: the host_profile JSON must parse-ably report
+# throughput and the Chrome trace must be written and non-empty.
+./target/release/clustered perf --workload gzip --policy explore \
+    --warmup 2000 --instructions 25000 --sample-interval 5000 \
+    --out "$CACHE_TMP/host_trace.json" > "$CACHE_TMP/perf.txt"
+grep -q "sim cycles/sec" "$CACHE_TMP/perf.txt"
+test -s "$CACHE_TMP/host_trace.json"
+./target/release/clustered perf --workload gzip --warmup 2000 \
+    --instructions 25000 --json > "$CACHE_TMP/perf.json"
+grep -q '"sim_cycles_per_sec"' "$CACHE_TMP/perf.json"
+
+echo "==> bench-cmp gate (perf-regression tool self-check)"
+# The committed BENCH trajectory compared against itself must pass, and
+# an injected 9x regression must fail with exit code 1 — proving the
+# gate can actually catch an eroded win before we rely on it.
+./target/release/bench-cmp results/BENCH_sweeps.json results/BENCH_sweeps.json
+sed 's/"min_ns": /"min_ns": 9/' results/BENCH_sweeps.json > "$CACHE_TMP/perturbed.json"
+status=0
+./target/release/bench-cmp results/BENCH_sweeps.json "$CACHE_TMP/perturbed.json" \
+    > /dev/null || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "bench-cmp must exit 1 on an injected regression, got $status" >&2
+    exit 1
+fi
+./target/release/bench-cmp results/BENCH_hostprof.json results/BENCH_hostprof.json
+
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -8,6 +8,7 @@
 //! clustered trace --workload gzip --policy explore --out trace.json
 //! clustered trace save --workload gzip --out gzip.ctrace
 //! clustered trace info gzip.ctrace
+//! clustered perf --workload gzip    # host-side profile of the simulator
 //! clustered asm kernel.s            # assemble + disassemble/report
 //! clustered workloads               # list the built-in suite
 //! clustered phases --workload gzip  # Table-4 style instability report
@@ -17,13 +18,13 @@ use clustered::policies::phase::{
     instability_factor, MetricsRecorder, StabilityThresholds,
 };
 use clustered::policies::{
-    chrome_trace, decisions_jsonl, timeline_jsonl, FineGrain, IntervalDistantIlp, IntervalExplore,
-    Recording,
+    chrome_trace, decisions_jsonl, host_chrome_trace, host_profile_json, timeline_jsonl, FineGrain,
+    IntervalDistantIlp, IntervalExplore, Recording,
 };
 use clustered::sim::{
     estimate_energy, CacheModel, DecisionReason, DecisionRecord, DecisionTrace, EnergyParams,
-    FixedPolicy, MetricsObserver, PolicyState, Processor, ReconfigPolicy, SimConfig, SteeringKind,
-    Topology,
+    FixedPolicy, HostProfiler, HostStage, MetricsObserver, PolicyState, Processor, ReconfigPolicy,
+    SimConfig, SteeringKind, Topology, DEFAULT_EVENT_CAP, DEFAULT_SAMPLE_INTERVAL,
 };
 use clustered::stats::Json;
 use clustered::{emu, isa, workloads};
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
             _ => cmd_trace(&args[1..]),
         },
         Some("explain") => cmd_explain(&args[1..]),
+        Some("perf") => cmd_perf(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
         Some("phases") => cmd_phases(&args[1..]),
@@ -103,11 +105,23 @@ USAGE:
                 [--clusters N] [--instructions N] [--warmup N]
                 [--decentralized] [--grid] [--monolithic]
                 [--limit N]       timeline rows to print (default 40)
+                [--decision-cap N] decision records kept before dropping
                 [--decisions FILE.jsonl]
                                 render the policy's decision timeline and
                                 summary statistics (time per state, reconfig
                                 rate, interval-length histogram) and, with
                                 --decisions, dump the raw JSONL trace
+  clustered perf [--workload NAME | --program FILE.s]
+                [--policy ...] [--clusters N] [--instructions N] [--warmup N]
+                [--decentralized] [--grid] [--monolithic]
+                [--sample-interval N]
+                                host-profile slice length in cycles (default 10000)
+                [--out FILE.json] write a host-side Chrome trace (stage spans
+                                and queue-depth counter tracks)
+                [--json]          print the host_profile JSON document
+                                profile the simulator itself: where host
+                                wall-clock goes per pipeline stage, calendar
+                                queue health, and per-cluster load skew
   clustered asm FILE.s          assemble a program and report on it
   clustered workloads           list built-in workloads
   clustered phases --workload NAME [--instructions N]
@@ -434,6 +448,14 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     cpu.run(warmup + instructions).map_err(|e| e.to_string())?;
     let s = *cpu.stats();
 
+    let (dropped_reconfigs, dropped_decisions) =
+        (cpu.observer().dropped_reconfigs(), cpu.observer().dropped_decisions());
+    if dropped_reconfigs + dropped_decisions > 0 {
+        println!(
+            "warning: the metrics observer dropped {dropped_reconfigs} reconfiguration and \
+             {dropped_decisions} decision records past its event cap; the trace is truncated"
+        );
+    }
     let trace = chrome_trace(cpu.observer());
     let events = trace.as_arr().map_or(0, <[Json]>::len);
     std::fs::write(out_path, trace.to_string_pretty())
@@ -499,6 +521,7 @@ const EXPLAIN_FLAGS: &[&str] = &[
     "monolithic",
     "decisions",
     "limit",
+    "decision-cap",
 ];
 
 /// Per-state commit attribution: each decision's state owns the span
@@ -536,6 +559,10 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let instructions = flags.get_u64("instructions", 500_000)?;
     let warmup = flags.get_u64("warmup", 50_000)?;
     let limit = flags.get_u64("limit", 40)? as usize;
+    let cap = flags.get_u64("decision-cap", DEFAULT_EVENT_CAP as u64)? as usize;
+    if cap == 0 {
+        return Err("--decision-cap must be non-zero".into());
+    }
 
     // Like `trace`, the timeline covers the whole execution including
     // the warm-up: policy decisions start at cycle 0 and a timeline
@@ -547,12 +574,23 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         workloads::env_cache_dir().as_deref(),
     );
     let stream = trace.replay();
-    let mut cpu =
-        Processor::with_observer(cfg, stream, policy, SteeringKind::default(), DecisionTrace::new())
-            .map_err(|e| e.to_string())?;
+    let mut cpu = Processor::with_observer(
+        cfg,
+        stream,
+        policy,
+        SteeringKind::default(),
+        DecisionTrace::with_cap(cap),
+    )
+    .map_err(|e| e.to_string())?;
     cpu.run(warmup + instructions).map_err(|e| e.to_string())?;
     let s = *cpu.stats();
     let (decisions, dropped) = cpu.observer().clone().into_decisions();
+    if dropped > 0 {
+        println!(
+            "warning: {dropped} decision records dropped past the {cap}-record cap; \
+             the timeline and summary below undercount (raise --decision-cap)"
+        );
+    }
 
     println!("workload            {}", workload.name());
     println!("policy              {policy_name}");
@@ -628,6 +666,99 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         std::fs::write(path, decisions_jsonl(&decisions))
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("  trace               {path} ({} lines)", decisions.len());
+    }
+    Ok(())
+}
+
+const PERF_FLAGS: &[&str] = &[
+    "workload",
+    "program",
+    "policy",
+    "clusters",
+    "instructions",
+    "warmup",
+    "decentralized",
+    "grid",
+    "monolithic",
+    "sample-interval",
+    "out",
+    "json",
+];
+
+fn cmd_perf(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, PERF_FLAGS)?;
+    let workload = load_workload(&flags)?;
+    let cfg = build_config(&flags)?;
+    let policy = build_policy(&flags, &cfg)?;
+    let policy_name = policy.name();
+    let instructions = flags.get_u64("instructions", 500_000)?;
+    let warmup = flags.get_u64("warmup", 50_000)?;
+    let sample_interval = flags.get_u64("sample-interval", DEFAULT_SAMPLE_INTERVAL)?;
+    if sample_interval == 0 {
+        return Err("--sample-interval must be non-zero".into());
+    }
+
+    let trace = workloads::capture_for_window_cached(
+        &workload,
+        warmup,
+        instructions,
+        workloads::env_cache_dir().as_deref(),
+    );
+    let label = format!("{} ({policy_name})", trace.name());
+    let stream = trace.replay();
+    let mut cpu = Processor::with_observer(
+        cfg,
+        stream,
+        policy,
+        SteeringKind::default(),
+        HostProfiler::new(sample_interval),
+    )
+    .map_err(|e| e.to_string())?;
+    cpu.run(warmup).map_err(|e| e.to_string())?;
+    // Discard the warm-up from the profile so shares and throughput
+    // describe the measured window only.
+    cpu.observer_mut().reset();
+    let before = *cpu.stats();
+    let wall = std::time::Instant::now();
+    cpu.run(instructions).map_err(|e| e.to_string())?;
+    let wall_seconds = wall.elapsed().as_secs_f64();
+    let s = cpu.stats().delta_since(&before);
+    let p = cpu.observer();
+
+    let trace_events = match flags.get("out") {
+        Some(path) => {
+            let doc = host_chrome_trace(p, &label);
+            let events = doc.as_arr().map_or(0, <[Json]>::len);
+            std::fs::write(path, doc.to_string_pretty())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            Some((path, events))
+        }
+        None => None,
+    };
+
+    if flags.has("json") {
+        println!("{}", host_profile_json(p, &label, wall_seconds).to_string_pretty());
+        return Ok(());
+    }
+
+    println!("workload            {}", trace.name());
+    println!("policy              {policy_name}");
+    println!("sim cycles          {}", p.cycles());
+    println!("IPC                 {:.3}", s.ipc());
+    println!("wall time           {wall_seconds:.3} s");
+    println!(
+        "sim cycles/sec      {:.0}",
+        if wall_seconds > 0.0 { p.cycles() as f64 / wall_seconds } else { 0.0 }
+    );
+    println!("host loop time      {:.3} s, by stage:", p.loop_nanos() as f64 / 1e9);
+    for stage in HostStage::ALL {
+        println!("  {:<17} {:>5.1}%", stage.as_str(), 100.0 * p.stage_share(stage));
+    }
+    println!("drained events      {} (max/mean shard skew {:.2})", p.drained_total(), p.drained_skew());
+    println!("fully quiescent     {} of {} cycles", p.fully_quiescent_cycles(), p.cycles());
+    println!("profile slices      {} ({} dropped)", p.slices().len(), p.dropped_slices());
+    if let Some((path, events)) = trace_events {
+        println!("trace               {path} ({events} events)");
     }
     Ok(())
 }

@@ -339,6 +339,113 @@ fn explain_limit_truncates_and_decisions_flag_dumps_parseable_jsonl() {
 }
 
 #[test]
+fn explain_warns_when_decision_records_drop() {
+    let args = |cap: &'static str| {
+        vec![
+            "explain",
+            "--workload",
+            "swim",
+            "--policy",
+            "distant",
+            "--warmup",
+            "2000",
+            "--instructions",
+            "30000",
+            "--decision-cap",
+            cap,
+        ]
+    };
+    let out = clustered(&args("2"));
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("warning:") && text.contains("dropped past the 2-record cap"),
+        "a cap of 2 must force drops and a warning: {text}"
+    );
+    assert!(text.contains("raise --decision-cap"), "{text}");
+
+    let out = clustered(&args("100000"));
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        !stdout(&out).contains("warning:"),
+        "no warning when every record fits the cap"
+    );
+}
+
+#[test]
+fn perf_writes_host_profile_and_chrome_trace() {
+    let dir = std::env::temp_dir().join("clustered_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("host_trace.json");
+    let base = [
+        "perf",
+        "--workload",
+        "gzip",
+        "--policy",
+        "explore",
+        "--warmup",
+        "2000",
+        "--instructions",
+        "30000",
+        "--sample-interval",
+        "5000",
+    ];
+
+    let mut args = base.to_vec();
+    args.extend(["--out", trace_path.to_str().expect("utf-8 path")]);
+    let out = clustered(&args);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("sim cycles/sec"), "{text}");
+    assert!(text.contains("event_drain"), "{text}");
+
+    use clustered::stats::Json;
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let trace = clustered::stats::json::parse(&trace_text).expect("trace is valid JSON");
+    let events = trace.as_arr().expect("Chrome trace is a JSON array");
+    assert!(!events.is_empty());
+    for e in events {
+        assert!(e.get("ph").and_then(Json::as_str).is_some(), "every event has ph");
+        assert!(e.get("name").and_then(Json::as_str).is_some(), "every event has name");
+    }
+    let ph =
+        |kind| events.iter().filter(move |e| e.get("ph").and_then(Json::as_str) == Some(kind));
+    assert!(
+        ph("X").any(|e| e.get("name").and_then(Json::as_str) == Some("host event_drain")),
+        "stage spans present"
+    );
+    assert!(
+        ph("C").any(|e| e.get("name").and_then(Json::as_str) == Some("host calendar events")),
+        "queue-depth counter track present"
+    );
+    assert!(ph("M").next().is_some(), "metadata names the host tracks");
+
+    let mut args = base.to_vec();
+    args.push("--json");
+    let out = clustered(&args);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let doc = clustered::stats::json::parse(&stdout(&out))
+        .expect("stdout must be exactly one valid JSON document");
+    assert!(doc.get("sim_cycles").and_then(Json::as_u64).expect("sim_cycles") > 0);
+    assert!(doc.get("sim_cycles_per_sec").and_then(Json::as_f64).expect("throughput") > 0.0);
+    let stages = doc.get("profile").and_then(|p| p.get("stages")).expect("stage buckets");
+    let share_sum: f64 = ["event_drain", "commit", "issue", "dispatch", "fetch", "other"]
+        .iter()
+        .map(|s| {
+            stages
+                .get(s)
+                .and_then(|b| b.get("share"))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing stage bucket {s}"))
+        })
+        .sum();
+    assert!(
+        (share_sum - 1.0).abs() < 1e-9,
+        "stage shares partition the loop time, got {share_sum}"
+    );
+}
+
+#[test]
 fn phases_reports_interval_stability() {
     let out = clustered(&["phases", "--workload", "swim", "--instructions", "60000"]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
