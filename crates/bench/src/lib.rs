@@ -13,7 +13,7 @@ pub mod cmp;
 pub mod harness;
 pub mod sweep;
 
-use clustered_emu::DynInst;
+use clustered_emu::TraceSource;
 use clustered_sim::{
     DecisionRecord, DecisionTrace, Processor, ReconfigPolicy, SimConfig, SimStats, SteeringKind,
 };
@@ -94,16 +94,17 @@ pub fn run_experiment_with_steering(
     run_stream(stream, cfg, policy, steering, warmup, measure)
 }
 
-/// Runs an arbitrary dynamic-instruction `stream` under `cfg`, `policy`
-/// and `steering`, discarding a warm-up and returning statistics for
-/// the measured window — the shared core of
-/// [`run_experiment_with_steering`] (live emulation) and the sweep
-/// executor's captured-trace replay path ([`sweep::run_point`]).
+/// Runs an arbitrary pre-decoded instruction `stream` under `cfg`,
+/// `policy` and `steering`, discarding a warm-up and returning
+/// statistics for the measured window — the shared core of
+/// [`run_experiment_with_steering`] (live emulation, via the blanket
+/// `TraceSource` impl for `Iterator<Item = DynInst>`) and the sweep
+/// executor's compiled-trace replay path ([`sweep::run_point`]).
 ///
 /// # Panics
 ///
 /// As for [`run_experiment`].
-pub fn run_stream<T: Iterator<Item = DynInst>>(
+pub fn run_stream<T: TraceSource>(
     stream: T,
     cfg: SimConfig,
     policy: Box<dyn ReconfigPolicy>,
@@ -142,7 +143,7 @@ pub struct RunWithDecisions {
 /// # Panics
 ///
 /// As for [`run_experiment`].
-pub fn run_stream_decisions<T: Iterator<Item = DynInst>>(
+pub fn run_stream_decisions<T: TraceSource>(
     stream: T,
     cfg: SimConfig,
     policy: Box<dyn ReconfigPolicy>,

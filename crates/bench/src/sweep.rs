@@ -55,7 +55,7 @@
 
 use crate::{run_stream, run_stream_decisions, RunWithDecisions};
 use clustered_sim::{ReconfigPolicy, SimConfig, SimStats, SteeringKind};
-use clustered_workloads::{CapturedTrace, Workload};
+use clustered_workloads::{CapturedTrace, CompiledTrace, Workload};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
@@ -76,6 +76,11 @@ pub struct SweepPoint {
     /// The shared dynamic-instruction stream (cheap clone of an
     /// [`Arc`](std::sync::Arc)-backed buffer).
     pub trace: CapturedTrace,
+    /// The trace's pre-decoded form, which the point runners actually
+    /// replay. Compiled once per capture — `CapturedTrace::compile` is
+    /// memoized, so every point sharing a capture shares one table —
+    /// and a cheap `Arc`-backed clone per point.
+    pub compiled: CompiledTrace,
     /// Timing-model configuration.
     pub cfg: SimConfig,
     /// Steering heuristic.
@@ -101,6 +106,7 @@ impl SweepPoint {
         SweepPoint {
             label: label.into(),
             trace: trace.clone(),
+            compiled: trace.compile(),
             cfg,
             steering: SteeringKind::default(),
             policy: Box::new(policy),
@@ -159,8 +165,9 @@ pub fn jobs() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
-/// Runs one point: instantiates its policy, replays its captured
-/// trace, and returns the measured-window statistics (identical to
+/// Runs one point: instantiates its policy, replays the compiled form
+/// of its captured trace (pre-decoded micro-ops, block-batched fetch),
+/// and returns the measured-window statistics (identical to
 /// [`run_experiment_with_steering`](crate::run_experiment_with_steering)
 /// on the live workload — the golden test in `tests/sweep.rs` pins
 /// this).
@@ -174,7 +181,7 @@ pub fn jobs() -> usize {
 /// [`run_experiment`](crate::run_experiment).
 pub fn run_point(point: &SweepPoint) -> SimStats {
     let stats = run_stream(
-        point.trace.replay(),
+        point.compiled.replay(),
         point.cfg,
         (point.policy)(),
         point.steering,
@@ -199,7 +206,7 @@ pub fn run_point(point: &SweepPoint) -> SimStats {
 /// As for [`run_point`].
 pub fn run_point_decisions(point: &SweepPoint) -> RunWithDecisions {
     let run = run_stream_decisions(
-        point.trace.replay(),
+        point.compiled.replay(),
         point.cfg,
         (point.policy)(),
         point.steering,

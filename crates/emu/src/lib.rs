@@ -45,10 +45,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod decoded;
 mod machine;
 mod memory;
 mod trace;
 
+pub use decoded::{DecodedInst, TraceSource};
 pub use machine::{trace, EmuError, Machine, Trace};
 pub use memory::Memory;
 pub use trace::{BranchKind, BranchOutcome, DynInst, MemAccess};

@@ -4,10 +4,10 @@ use super::{legal_cluster_count, Processor, RobEntry};
 use crate::config::CacheModel;
 use crate::observe::SimObserver;
 use crate::reconfig::CommitEvent;
-use clustered_emu::{BranchKind, DynInst};
+use clustered_emu::{BranchKind, TraceSource};
 use clustered_isa::OpClass;
 
-impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     pub(super) fn commit(&mut self) {
         let mut n = 0;
         while n < self.cfg.frontend.commit_width {

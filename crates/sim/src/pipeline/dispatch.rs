@@ -5,10 +5,10 @@ use crate::cluster::{Domain, FuGroup};
 use crate::config::{CacheModel, MAX_CLUSTERS};
 use crate::observe::{SimObserver, TransferKind};
 use crate::steer::SteerRequest;
-use clustered_emu::DynInst;
+use clustered_emu::TraceSource;
 use clustered_isa::{ArchReg, OpClass};
 
-impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     pub(super) fn dispatch(&mut self) {
         if self.pending_reconfig.is_some() || self.now < self.dispatch_stall_until {
             return;
@@ -53,9 +53,10 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
         let front = self.fetch_queue.front().expect("checked by caller");
         let d = front.d;
         let mispredicted = front.mispredicted;
-        let class = d.inst.op_class();
-        let sources = d.inst.sources();
-        let dest = d.inst.dest();
+        // Already decoded at (or before) fetch: no `Inst` in sight.
+        let class = d.class;
+        let sources = d.srcs;
+        let dest = d.dest;
         let domain = Domain::of(class);
 
         // Producer clusters and criticality estimates for steering.

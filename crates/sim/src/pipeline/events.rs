@@ -11,7 +11,7 @@ use super::{Processor, ABSENT, STORE_VALUE_SLOT};
 use crate::cluster::FuGroup;
 use crate::config::CacheModel;
 use crate::observe::{SimObserver, TransferKind};
-use clustered_emu::DynInst;
+use clustered_emu::TraceSource;
 use clustered_isa::OpClass;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -301,7 +301,7 @@ impl EventShards {
     }
 }
 
-impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     /// Queues `kind` to fire at `time` in `shard`'s event queue. The
     /// shard is a locality hint only — the drain order is global — so
     /// callers pass whichever cluster or LSQ slice the event concerns.

@@ -12,12 +12,12 @@ use super::events::EventKind;
 use crate::cluster::{latency_of, Domain};
 use crate::observe::SimObserver;
 use crate::reconfig::DISTANT_DEPTH;
-use clustered_emu::DynInst;
+use clustered_emu::TraceSource;
 use clustered_isa::OpClass;
 
 use super::Processor;
 
-impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     pub(super) fn issue(&mut self) {
         let head_seq = self.rob.front().map(|e| e.d.seq);
         let mut selected = std::mem::take(&mut self.selected);

@@ -51,7 +51,7 @@ use crate::observe::{NullObserver, SimObserver};
 use crate::reconfig::ReconfigPolicy;
 use crate::stats::SimStats;
 use crate::steer::{Steering, SteeringKind};
-use clustered_emu::DynInst;
+use clustered_emu::{DecodedInst, TraceSource};
 use clustered_isa::{ArchReg, OpClass};
 use events::EventShards;
 use std::collections::VecDeque;
@@ -97,14 +97,14 @@ impl From<ConfigError> for SimError {
 
 #[derive(Debug)]
 struct Fetched {
-    d: DynInst,
+    d: DecodedInst,
     fetched_at: u64,
     mispredicted: bool,
 }
 
 #[derive(Debug)]
 struct RobEntry {
-    d: DynInst,
+    d: DecodedInst,
     class: OpClass,
     cluster: usize,
     dest: Option<ArchReg>,
@@ -163,6 +163,9 @@ pub struct Processor<T, O = NullObserver> {
     arch_home: [usize; 64],
     arch_avail: [[u64; MAX_CLUSTERS]; 64],
     fetch_queue: VecDeque<Fetched>,
+    /// Reused fetch-stage scratch buffer for one decoded run (the
+    /// instructions up to and including the next control transfer).
+    fetch_run: Vec<DecodedInst>,
     fetch_stall_until: u64,
     awaiting_redirect: bool,
     dispatch_stall_until: u64,
@@ -233,7 +236,7 @@ fn legal_cluster_count(request: usize, total: usize, pow2: bool) -> usize {
     }
 }
 
-impl<T: Iterator<Item = DynInst>> Processor<T> {
+impl<T: TraceSource> Processor<T> {
     /// Builds a processor over `trace` governed by `policy`.
     ///
     /// # Errors
@@ -262,7 +265,7 @@ impl<T: Iterator<Item = DynInst>> Processor<T> {
     }
 }
 
-impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
+impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     /// Builds a processor whose pipeline events are reported to
     /// `observer` (see [`SimObserver`]).
     ///
@@ -315,6 +318,7 @@ impl<T: Iterator<Item = DynInst>, O: SimObserver> Processor<T, O> {
             arch_home,
             arch_avail: [[0; MAX_CLUSTERS]; 64],
             fetch_queue: VecDeque::with_capacity(cfg.frontend.fetch_queue),
+            fetch_run: Vec::with_capacity(cfg.frontend.fetch_width),
             fetch_stall_until: 0,
             awaiting_redirect: false,
             dispatch_stall_until: 0,

@@ -10,9 +10,15 @@
 //! from the program text at replay, and the sequence number from the
 //! buffer position), shares the buffer behind an [`Arc`], and hands
 //! out cheap cloneable [`TraceReplay`] iterators satisfying the
-//! simulator's `Iterator<Item = DynInst>` stream bound. Replayed
-//! records are bit-identical to live emulation — pinned by the tests
-//! here and by the golden statistics test in `clustered-bench`.
+//! simulator's `TraceSource` stream seam (every `Iterator<Item =
+//! DynInst>` is one). Replayed records are bit-identical to live
+//! emulation — pinned by the tests here and by the golden statistics
+//! test in `clustered-bench`.
+//!
+//! For the hot replay paths, [`CapturedTrace::compile`] goes one step
+//! further and pre-decodes the whole trace into a
+//! [`CompiledTrace`] — see the
+//! [`compiled`](crate::compiled) module.
 //!
 //! # Examples
 //!
@@ -29,10 +35,11 @@
 //! assert_eq!(a, b);
 //! ```
 
+use crate::compiled::CompiledTrace;
 use crate::Workload;
 use clustered_emu::{BranchKind, BranchOutcome, DynInst, MemAccess};
 use clustered_isa::Program;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Extra records captured beyond a `warmup + measure` simulation
 /// window by [`CapturedTrace::for_window`].
@@ -48,9 +55,9 @@ pub const CAPTURE_MARGIN: u64 = 8_192;
 const MEM_BIT: u16 = 1 << 0;
 const STORE_BIT: u16 = 1 << 1;
 const SIZE_SHIFT: u16 = 2; // two bits: 0 → 1 byte, 1 → 4, 2 → 8
-const BRANCH_BIT: u16 = 1 << 4;
+pub(crate) const BRANCH_BIT: u16 = 1 << 4;
 const KIND_SHIFT: u16 = 5; // three bits, `kind_code` order
-const TAKEN_BIT: u16 = 1 << 8;
+pub(crate) const TAKEN_BIT: u16 = 1 << 8;
 
 /// One dynamic instruction in 24 bytes: effective address, fetch PC,
 /// branch target, and a flag word. The static instruction is implied
@@ -153,6 +160,9 @@ pub struct CapturedTrace {
     pub(crate) program: Arc<Program>,
     pub(crate) records: Arc<[PackedInst]>,
     pub(crate) ended_at_halt: bool,
+    /// Lazily built pre-decoded form, shared by every clone of this
+    /// capture: a sweep's worth of points compiles the trace once.
+    pub(crate) compiled: Arc<OnceLock<CompiledTrace>>,
 }
 
 impl CapturedTrace {
@@ -165,7 +175,13 @@ impl CapturedTrace {
     /// Panics if the workload faults during emulation; workload
     /// kernels are part of the program, not user input.
     pub fn capture(workload: &Workload, max_records: u64) -> CapturedTrace {
-        let mut records: Vec<PackedInst> = Vec::new();
+        // Pre-size for the requested window: record counts are known up
+        // front, so growth-by-doubling only wastes copies. The cap keeps
+        // a huge `max_records` request on a program that halts early
+        // from reserving absurd memory before the first record lands.
+        const PREALLOC_CAP: usize = 1 << 22; // 4 Mi records = 96 MiB
+        let mut records: Vec<PackedInst> =
+            Vec::with_capacity((max_records.min(PREALLOC_CAP as u64)) as usize);
         let mut trace = workload.trace();
         let mut ended_at_halt = false;
         while (records.len() as u64) < max_records {
@@ -188,6 +204,7 @@ impl CapturedTrace {
             program: Arc::new(workload.program().clone()),
             records: records.into(),
             ended_at_halt,
+            compiled: Arc::new(OnceLock::new()),
         }
     }
 
@@ -241,6 +258,16 @@ impl CapturedTrace {
             pos: 0,
         }
     }
+
+    /// The pre-decoded form of this capture (see
+    /// [`CompiledTrace`]), built on first call
+    /// and memoized: every clone of this capture — including clones on
+    /// other threads — shares the one compiled table, so an experiment
+    /// grid pays the compile cost once per workload. The returned
+    /// handle itself is cheap to clone (three `Arc`s).
+    pub fn compile(&self) -> CompiledTrace {
+        self.compiled.get_or_init(|| CompiledTrace::build(self)).clone()
+    }
 }
 
 /// A cheap cloneable iterator replaying a [`CapturedTrace`] as
@@ -257,6 +284,13 @@ impl TraceReplay {
     pub fn remaining(&self) -> usize {
         self.records.len() - self.pos
     }
+
+    /// Repositions the replay at absolute record index `pos` (clamped
+    /// to the end of the buffer): pure position arithmetic, no
+    /// per-record unpacking. The next record returned is `pos`'s.
+    pub fn skip_to(&mut self, pos: usize) {
+        self.pos = pos.min(self.records.len());
+    }
 }
 
 impl Iterator for TraceReplay {
@@ -272,6 +306,13 @@ impl Iterator for TraceReplay {
     fn size_hint(&self) -> (usize, Option<usize>) {
         let n = self.remaining();
         (n, Some(n))
+    }
+
+    /// O(1): skipping is position arithmetic — only the returned
+    /// record is unpacked, not the `n` skipped ones.
+    fn nth(&mut self, n: usize) -> Option<DynInst> {
+        self.pos = self.pos.saturating_add(n).min(self.records.len());
+        self.next()
     }
 }
 
@@ -319,6 +360,27 @@ mod tests {
         assert_eq!(b.remaining(), 1_000);
         assert_eq!(b.next().unwrap().seq, 0, "clone must start at the beginning");
         assert_eq!(captured.buffer_bytes(), 1_000 * 24);
+    }
+
+    /// `nth`/`skip_to` are position arithmetic, matching the default
+    /// advance-by-`next` semantics exactly — including past the end.
+    #[test]
+    fn nth_and_skip_to_match_sequential_replay() {
+        let w = by_name("gzip").unwrap();
+        let captured = CapturedTrace::capture(&w, 1_000);
+        let mut fast = captured.replay();
+        let mut slow = captured.replay();
+        assert_eq!(fast.nth(123), (0..124).map(|_| slow.next()).last().unwrap());
+        assert_eq!(fast.remaining(), slow.remaining());
+        let mut r = captured.replay();
+        r.skip_to(997);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.next().unwrap().seq, 997);
+        r.skip_to(usize::MAX); // clamped to the end
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.next(), None);
+        assert_eq!(captured.replay().nth(1_000), None, "nth past the end");
+        assert_eq!(captured.replay().nth(999).unwrap().seq, 999);
     }
 
     #[test]

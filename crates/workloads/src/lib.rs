@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod capture;
+pub mod compiled;
 pub mod data;
 mod kernels;
 mod profile;
@@ -40,6 +41,7 @@ pub mod synthetic;
 pub mod tracefile;
 
 pub use capture::{CapturedTrace, TraceReplay, CAPTURE_MARGIN};
+pub use compiled::{BlockSpan, CompiledReplay, CompiledTrace};
 pub use profile::{PaperProfile, WorkloadClass};
 pub use tracefile::{capture_cached, capture_for_window_cached, env_cache_dir, TraceFileError};
 

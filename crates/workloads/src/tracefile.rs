@@ -353,6 +353,7 @@ impl CapturedTrace {
             program: Arc::new(program),
             records: records.into(),
             ended_at_halt: flags & FLAG_ENDED_AT_HALT != 0,
+            compiled: Arc::new(std::sync::OnceLock::new()),
         })
     }
 

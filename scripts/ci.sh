@@ -68,6 +68,16 @@ if [ "$status" -ne 1 ]; then
     exit 1
 fi
 ./target/release/bench-cmp results/BENCH_hostprof.json results/BENCH_hostprof.json
+./target/release/bench-cmp results/BENCH_compiled.json results/BENCH_compiled.json
+
+echo "==> trace info smoke (compiled-table report)"
+# `trace info` must compile the table on demand and report its size and
+# block count; the fig3 cold run above populated the cache with
+# .ctrace files we can inspect.
+first_trace=$(ls "$CACHE_TMP/traces/"*.ctrace | head -n 1)
+./target/release/clustered trace info "$first_trace" > "$CACHE_TMP/traceinfo.txt"
+grep -q "compiled table" "$CACHE_TMP/traceinfo.txt"
+grep -q "basic blocks" "$CACHE_TMP/traceinfo.txt"
 
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

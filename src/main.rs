@@ -311,7 +311,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         None => (policy, None),
     };
-    let stream = trace.replay();
+    // Pre-decode once, then simulate off the compiled table: identical
+    // results to plain replay, cheaper per instruction.
+    let stream = trace.compile().replay();
     let mut cpu = Processor::new(cfg, stream, policy).map_err(|e| e.to_string())?;
     cpu.run(warmup).map_err(|e| e.to_string())?;
     if cpu.finished() {
@@ -436,7 +438,8 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     // warm-up: a timeline with a hole at the start is more confusing
     // than one marked from cycle 0.
     let (policy, timeline) = Recording::new(BoxedPolicy(policy), interval);
-    let stream = workloads::CapturedTrace::for_window(&workload, warmup, instructions).replay();
+    let stream =
+        workloads::CapturedTrace::for_window(&workload, warmup, instructions).compile().replay();
     let mut cpu = Processor::with_observer(
         cfg,
         stream,
@@ -506,6 +509,13 @@ fn cmd_trace_info(args: &[String]) -> Result<(), String> {
     println!("program text        {} instructions", trace.program().text().len());
     println!("complete execution  {}", if trace.ended_at_halt() { "yes (ended at halt)" } else { "no (window capture)" });
     println!("replay buffer       {} bytes", trace.buffer_bytes());
+    let compiled = trace.compile();
+    println!(
+        "compiled table      {} micro-ops ({} bytes)",
+        compiled.table_len(),
+        compiled.table_bytes()
+    );
+    println!("basic blocks        {}", compiled.block_count());
     Ok(())
 }
 
@@ -573,7 +583,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         instructions,
         workloads::env_cache_dir().as_deref(),
     );
-    let stream = trace.replay();
+    let stream = trace.compile().replay();
     let mut cpu = Processor::with_observer(
         cfg,
         stream,
@@ -705,7 +715,7 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
         workloads::env_cache_dir().as_deref(),
     );
     let label = format!("{} ({policy_name})", trace.name());
-    let stream = trace.replay();
+    let stream = trace.compile().replay();
     let mut cpu = Processor::with_observer(
         cfg,
         stream,

@@ -1,0 +1,116 @@
+//! Compiled-replay equivalence suite: a [`CompiledTrace`] is a pure
+//! re-encoding of a [`CapturedTrace`], so its decoded stream must be
+//! bit-identical to decode-on-the-fly replay and to live emulation for
+//! every kernel, its block index must exactly partition the record
+//! range, and a simulator fed the compiled form must compute the same
+//! statistics as one fed the plain replay.
+//!
+//! Together with `tests/shard_equivalence.rs` (whose oracle pins the
+//! schedule the pipeline computes from the decoded stream), this makes
+//! the compiled path a no-op for results and a win for wall-clock only.
+
+use clustered_core::{IntervalDistantIlp, IntervalExplore};
+use clustered_emu::{DecodedInst, TraceSource};
+use clustered_sim::{CacheModel, FixedPolicy, Processor, ReconfigPolicy, SimConfig};
+use clustered_workloads::CapturedTrace;
+
+const RECORDS: u64 = 5_000;
+
+fn drain(mut src: impl TraceSource) -> Vec<DecodedInst> {
+    let mut out = Vec::new();
+    while let Some(d) = src.next_decoded() {
+        out.push(d);
+    }
+    out
+}
+
+/// The satellite pin: for all nine kernels, the compiled stream equals
+/// plain trace replay equals live emulation, record for record.
+#[test]
+fn compiled_stream_matches_replay_and_live_for_all_nine_kernels() {
+    for w in clustered_workloads::all() {
+        let captured = CapturedTrace::capture(&w, RECORDS);
+        let compiled = captured.compile();
+        let live = drain(w.trace().take(captured.len()).map(Result::unwrap));
+        let replayed = drain(captured.replay());
+        let from_table = drain(compiled.replay());
+        assert_eq!(replayed, live, "{}: replay diverged from live emulation", w.name());
+        assert_eq!(from_table, live, "{}: compiled stream diverged from live", w.name());
+    }
+}
+
+/// Block-index invariants, for all nine kernels: spans partition the
+/// record range (contiguous from 0, non-empty, summing to the length),
+/// block bodies are branch-free, and every block ends at a control
+/// transfer or the trace tail.
+#[test]
+fn block_index_invariants_hold_for_all_nine_kernels() {
+    for w in clustered_workloads::all() {
+        let compiled = CapturedTrace::capture(&w, RECORDS).compile();
+        let stream = drain(compiled.replay());
+        let mut next_start = 0u64;
+        for b in compiled.blocks() {
+            assert_eq!(b.start, next_start, "{}: block index has a gap or overlap", w.name());
+            assert!(b.len > 0, "{}: empty block", w.name());
+            next_start += b.len;
+            let last = (b.start + b.len - 1) as usize;
+            for d in &stream[b.start as usize..last] {
+                assert!(d.branch.is_none(), "{}: control transfer inside a block body", w.name());
+            }
+            assert!(
+                stream[last].branch.is_some() || last + 1 == stream.len(),
+                "{}: block ends at neither a branch nor the trace tail",
+                w.name()
+            );
+        }
+        assert_eq!(next_start, compiled.len() as u64, "{}: blocks must cover the range", w.name());
+        assert_eq!(compiled.block_count(), compiled.blocks().len());
+        assert_eq!(compiled.table_len(), w.program().text().len());
+    }
+}
+
+/// Feeding the simulator the compiled form computes bit-identical
+/// statistics to feeding it the plain replay, across both cache
+/// models, fixed and adaptive policies, and narrow/wide cluster
+/// counts (a sample of the shard-oracle matrix; the full 360-point
+/// oracle pin in `tests/shard_equivalence.rs` covers the pipeline
+/// itself).
+#[test]
+fn simulator_stats_identical_on_compiled_and_plain_replay() {
+    const WARMUP: u64 = 1_000;
+    const MEASURE: u64 = 4_000;
+    type PolicyCtor = fn() -> Box<dyn ReconfigPolicy>;
+    let policies: [(&str, PolicyCtor); 3] = [
+        ("fixed4", || Box::new(FixedPolicy::new(4))),
+        ("explore", || Box::new(IntervalExplore::default())),
+        ("distant", || Box::new(IntervalDistantIlp::default())),
+    ];
+    for name in ["gzip", "djpeg", "swim"] {
+        let w = clustered_workloads::by_name(name).unwrap();
+        let trace = CapturedTrace::for_window(&w, WARMUP, MEASURE);
+        let compiled = trace.compile();
+        for model in [CacheModel::Centralized, CacheModel::Decentralized] {
+            for (pname, policy) in policies {
+                let mut cfg = SimConfig::default();
+                cfg.cache.model = model;
+                let mut via_replay =
+                    Processor::new(cfg, trace.replay(), policy()).expect("valid config");
+                let mut via_compiled =
+                    Processor::new(cfg, compiled.replay(), policy()).expect("valid config");
+                via_replay.run(WARMUP).expect("warmup");
+                via_compiled.run(WARMUP).expect("warmup");
+                let a0 = *via_replay.stats();
+                let b0 = *via_compiled.stats();
+                via_replay.run(MEASURE).expect("measure");
+                via_compiled.run(MEASURE).expect("measure");
+                let a = via_replay.stats().delta_since(&a0);
+                let b = via_compiled.stats().delta_since(&b0);
+                assert_eq!(
+                    a.to_json().to_string_compact(),
+                    b.to_json().to_string_compact(),
+                    "{name}/{model:?}/{pname}: compiled path diverged from plain replay"
+                );
+            }
+        }
+    }
+}
