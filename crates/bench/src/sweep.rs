@@ -262,11 +262,14 @@ fn progress_enabled_from(value: Option<&str>) -> bool {
 /// Remaining wall-clock estimate from completed-point throughput:
 /// `elapsed / done` per point times the points left. `None` until the
 /// first point completes (no throughput to extrapolate from).
+/// `None` also covers a non-finite extrapolation (a clock glitch or an
+/// absurd point count must yield a null `eta_s`, never `inf`/`NaN` in
+/// the heartbeat stream or an `infs` on stderr).
 fn eta_seconds(elapsed: f64, done: usize, total: usize) -> Option<f64> {
     if done == 0 {
         return None;
     }
-    Some(elapsed / done as f64 * total.saturating_sub(done) as f64)
+    Some(elapsed / done as f64 * total.saturating_sub(done) as f64).filter(|s| s.is_finite())
 }
 
 /// One structured heartbeat record (see EXPERIMENTS.md, "Sweep
@@ -285,7 +288,8 @@ fn heartbeat_json(
     let eta = eta_seconds(elapsed_s, done, total);
     let per_s = sim_cycles
         .filter(|_| point_s > 0.0)
-        .map(|c| c as f64 / point_s);
+        .map(|c| c as f64 / point_s)
+        .filter(|r| r.is_finite());
     Json::object()
         .set("event", "point")
         .set("label", label)
@@ -536,6 +540,28 @@ mod tests {
         assert_eq!(eta_seconds(10.0, 2, 4), Some(10.0), "2 done in 10s -> 2 left in 10s");
         assert_eq!(eta_seconds(9.0, 3, 3), Some(0.0), "done sweep has nothing left");
         assert_eq!(eta_seconds(5.0, 4, 3), Some(0.0), "overshoot saturates, never negative");
+        assert_eq!(eta_seconds(0.0, 1, 4), Some(0.0), "zero elapsed is a zero eta, not NaN");
+        assert_eq!(
+            eta_seconds(f64::MAX, 1, usize::MAX),
+            None,
+            "a non-finite extrapolation degrades to unknown"
+        );
+    }
+
+    #[test]
+    fn heartbeat_never_records_nonfinite_rates() {
+        use clustered_stats::Json;
+        // First point of the sweep: no throughput yet, eta_s is null.
+        let line = heartbeat_json("gzip/4", 0, 0, 8, 0.5, 0.5, Some(40_000));
+        assert_eq!(line.get("eta_s"), Some(&Json::Null));
+        // Zero-duration point (timer granularity): no cycles/s rate,
+        // and the zero-elapsed eta stays a number, not NaN.
+        let line = heartbeat_json("gzip/4", 0, 1, 8, 0.0, 0.0, Some(40_000));
+        assert_eq!(line.get("sim_cycles_per_s"), Some(&Json::Null));
+        assert_eq!(line.get("eta_s").and_then(Json::as_f64), Some(0.0));
+        // Subnormal point time would overflow the rate to inf.
+        let line = heartbeat_json("gzip/4", 0, 1, 8, f64::MIN_POSITIVE, 1.0, Some(u64::MAX));
+        assert_eq!(line.get("sim_cycles_per_s"), Some(&Json::Null));
     }
 
     #[test]

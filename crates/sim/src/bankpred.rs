@@ -11,6 +11,16 @@
 
 use crate::config::BankPredParams;
 
+/// Width of one bank id in the packed history register.
+pub const BANK_BITS: u32 = 4;
+
+/// The largest bank count the predictor can track without aliasing:
+/// each trained bank is packed into a [`BANK_BITS`]-wide field of the
+/// history register, so banks `>= 1 << BANK_BITS` would fold onto
+/// lower ones and corrupt every history that observes them.
+/// `SimConfig::validate` rejects configurations past this capacity.
+pub const MAX_PREDICTED_BANKS: usize = 1 << BANK_BITS;
+
 /// Two-level bank predictor: a per-PC history of recent banks indexing
 /// a pattern table of last-seen banks.
 #[derive(Debug, Clone)]
@@ -45,11 +55,21 @@ impl BankPredictor {
     }
 
     /// Trains the predictor with the resolved bank.
+    ///
+    /// `bank` must be below [`MAX_PREDICTED_BANKS`]; the history packs
+    /// it into a [`BANK_BITS`]-wide field, and a wider bank would
+    /// silently alias a lower one.
     pub fn update(&mut self, pc: u32, bank: u8) {
+        debug_assert!(
+            (bank as usize) < MAX_PREDICTED_BANKS,
+            "bank {bank} does not fit the predictor's {BANK_BITS}-bit history field"
+        );
         let pi = self.pattern_index(pc);
         self.pattern[pi] = bank;
         let hi = pc as usize % self.history.len();
-        self.history[hi] = ((self.history[hi] << 4) | (bank as u32 & 15)) & self.history_mask;
+        self.history[hi] = ((self.history[hi] << BANK_BITS)
+            | (bank as u32 & (MAX_PREDICTED_BANKS as u32 - 1)))
+            & self.history_mask;
     }
 }
 
@@ -94,6 +114,22 @@ mod tests {
         }
         // With 4 active clusters only the low 2 bits matter.
         assert_eq!(p.predict(100) & 0b11, 0b10);
+    }
+
+    #[test]
+    fn full_width_banks_train_without_truncation() {
+        let mut p = predictor();
+        for _ in 0..4 {
+            p.update(100, (MAX_PREDICTED_BANKS - 1) as u8);
+        }
+        assert_eq!(p.predict(100), (MAX_PREDICTED_BANKS - 1) as u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-bit history field")]
+    fn oversized_banks_are_rejected_in_debug() {
+        let mut p = predictor();
+        p.update(100, MAX_PREDICTED_BANKS as u8);
     }
 
     #[test]

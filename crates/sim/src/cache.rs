@@ -6,7 +6,6 @@ use crate::config::{CacheModel, CacheParams};
 use crate::interconnect::Interconnect;
 use crate::slots::SlotReservations;
 use crate::stats::SimStats;
-use crate::fxhash::FastMap;
 
 /// A set-associative tag array with true LRU.
 #[derive(Debug, Clone)]
@@ -102,15 +101,59 @@ impl CacheArray {
     }
 }
 
-/// Entries allowed in a miss-status map before stale (already
-/// completed) fills are pruned.
-const MSHR_PRUNE_LIMIT: usize = 64 * 1024;
+/// In-flight line fills, for merging repeated misses: line → ready.
+///
+/// A flat vector instead of a hash map, because the map sat on the
+/// hottest path in the simulator — it was probed on *every* L1 hit
+/// (hit-under-fill check) and, growing monotonically between prunes,
+/// every probe was a cold hash-table walk. The vector exploits what a
+/// general map cannot: a record whose fill completed before the
+/// current access began is semantically identical to an absent one
+/// (every reader compares `ready` against a time no earlier than the
+/// access start, and access starts are non-decreasing), so completed
+/// slots are reused in place. The table therefore stays at roughly the
+/// peak number of *simultaneously* outstanding fills — a handful of
+/// hot cache lines that a linear scan beats a hash probe on.
+#[derive(Debug, Clone, Default)]
+struct MissTable {
+    /// `(line, ready)` records, at most one per line.
+    entries: Vec<(u64, u64)>,
+}
 
-/// Drops in-flight-fill records that completed before `now`; called
-/// when a map crosses [`MSHR_PRUNE_LIMIT`] so long runs stay bounded.
-fn prune_mshr(mshr: &mut FastMap<u64, u64>, now: u64) {
-    if mshr.len() > MSHR_PRUNE_LIMIT {
-        mshr.retain(|_, &mut ready| ready >= now);
+impl MissTable {
+    /// The recorded fill-ready time for `line`, if any (possibly in
+    /// the past — callers compare against their own clock, exactly as
+    /// with the map this replaces).
+    #[inline]
+    fn get(&self, line: u64) -> Option<u64> {
+        self.entries.iter().find(|e| e.0 == line).map(|e| e.1)
+    }
+
+    /// Records `line`'s fill completing at `ready`. `now` is the start
+    /// time of the access recording the fill: any slot whose fill
+    /// completed before it can never influence a later query (query
+    /// clocks are `>= now` because access starts are non-decreasing),
+    /// so the first such slot is recycled instead of growing the table.
+    fn insert(&mut self, line: u64, ready: u64, now: u64) {
+        let mut stale = None;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.0 == line {
+                e.1 = ready;
+                return;
+            }
+            if stale.is_none() && e.1 < now {
+                stale = Some(i);
+            }
+        }
+        match stale {
+            Some(i) => self.entries[i] = (line, ready),
+            None => self.entries.push((line, ready)),
+        }
+    }
+
+    /// Forgets every in-flight fill.
+    fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -122,9 +165,9 @@ pub struct MemHierarchy {
     bank_ports: SlotReservations,
     l2: CacheArray,
     l2_port: SlotReservations,
-    /// In-flight line fills, for merging repeated misses: line → ready.
-    l1_mshr: FastMap<u64, u64>,
-    l2_mshr: FastMap<u64, u64>,
+    /// In-flight line fills, for merging repeated misses.
+    l1_mshr: MissTable,
+    l2_mshr: MissTable,
 }
 
 impl MemHierarchy {
@@ -156,8 +199,8 @@ impl MemHierarchy {
             bank_ports: SlotReservations::new(nbanks),
             l2: CacheArray::new(params.l2_size, params.l2_assoc, params.l2_line),
             l2_port: SlotReservations::new(1),
-            l1_mshr: FastMap::default(),
-            l2_mshr: FastMap::default(),
+            l1_mshr: MissTable::default(),
+            l2_mshr: MissTable::default(),
         }
     }
 
@@ -218,7 +261,7 @@ impl MemHierarchy {
             let t = t0 + self.l1_latency();
             // Hit under fill: the tags were allocated at miss time, but
             // the data arrives only when the fill completes.
-            if let Some(&ready) = self.l1_mshr.get(&line) {
+            if let Some(ready) = self.l1_mshr.get(line) {
                 if ready > t {
                     return ready;
                 }
@@ -228,7 +271,7 @@ impl MemHierarchy {
         stats.l1_misses += 1;
         let miss_seen = t0 + self.l1_latency();
         // Merge with an in-flight fill of the same line.
-        if let Some(&ready) = self.l1_mshr.get(&line) {
+        if let Some(ready) = self.l1_mshr.get(line) {
             if ready >= miss_seen {
                 return ready;
             }
@@ -250,23 +293,22 @@ impl MemHierarchy {
         let data_at_l2 = if l2_result.hit {
             let t = t1 + self.params.l2_latency;
             // Hit under fill at the L2, same as at the L1.
-            match self.l2_mshr.get(&l2_line_probe) {
-                Some(&ready) if ready > t => ready,
+            match self.l2_mshr.get(l2_line_probe) {
+                Some(ready) if ready > t => ready,
                 _ => t,
             }
         } else {
             stats.l2_misses += 1;
             let l2_line = addr >> self.params.l2_line.trailing_zeros();
             let l2_seen = t1 + self.params.l2_latency;
-            let filled = match self.l2_mshr.get(&l2_line) {
-                Some(&ready) if ready >= l2_seen => ready,
+            match self.l2_mshr.get(l2_line) {
+                Some(ready) if ready >= l2_seen => ready,
                 _ => {
                     let ready = l2_seen + self.params.mem_latency;
-                    self.l2_mshr.insert(l2_line, ready);
+                    self.l2_mshr.insert(l2_line, ready, start);
                     ready
                 }
-            };
-            filled
+            }
         };
         // Fill returns to the bank.
         let done = if self.params.model == CacheModel::Decentralized && bank_cluster != 0 {
@@ -275,9 +317,7 @@ impl MemHierarchy {
         } else {
             data_at_l2
         };
-        prune_mshr(&mut self.l1_mshr, t0);
-        prune_mshr(&mut self.l2_mshr, t0);
-        self.l1_mshr.insert(line, done);
+        self.l1_mshr.insert(line, done, start);
         done
     }
 

@@ -337,6 +337,18 @@ impl SimConfig {
     /// must be non-zero.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let c = &self.clusters;
+        // The bank predictor packs each trained bank into a 4-bit
+        // history field (`bankpred::BANK_BITS`); one bank per cluster
+        // means a count past its capacity would silently alias banks
+        // in every history register, so reject it here rather than
+        // truncate there.
+        if c.count > crate::bankpred::MAX_PREDICTED_BANKS {
+            return Err(ConfigError(format!(
+                "cluster count {} exceeds the bank predictor's {}-bank history capacity",
+                c.count,
+                crate::bankpred::MAX_PREDICTED_BANKS
+            )));
+        }
         if c.count == 0 || c.count > MAX_CLUSTERS {
             return Err(ConfigError(format!(
                 "cluster count {} outside 1..={MAX_CLUSTERS}",
@@ -449,6 +461,21 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.clusters.count = 8;
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_counts_past_predictor_capacity() {
+        // The generic range check happens to cover the same range
+        // today (MAX_CLUSTERS == 16), but the predictor check owns the
+        // rejection so the two limits can move independently.
+        const { assert!(MAX_CLUSTERS <= crate::bankpred::MAX_PREDICTED_BANKS) };
+        let mut cfg = SimConfig::default();
+        cfg.clusters.count = 32;
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("bank predictor"),
+            "expected the bank-predictor capacity to be blamed, got: {err}"
+        );
     }
 
     #[test]

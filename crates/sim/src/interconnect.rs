@@ -93,9 +93,11 @@ impl Interconnect {
         assert!(a < self.n && b < self.n, "cluster index out of range");
         match self.topology {
             Topology::Ring => {
-                let fwd = (b + self.n - a) % self.n;
-                let bwd = (a + self.n - b) % self.n;
-                fwd.min(bwd) as u64
+                // `a` and `b` are in range, so the modulo reduces a
+                // value below `2n` and a conditional subtract suffices.
+                let d = b + self.n - a;
+                let fwd = if d >= self.n { d - self.n } else { d };
+                fwd.min(self.n - fwd) as u64
             }
             Topology::Grid => {
                 let (ax, ay) = (a % self.cols, a / self.cols);
@@ -128,12 +130,47 @@ impl Interconnect {
             return earliest;
         }
         let mut t = earliest;
-        let mut node = from;
-        while node != to {
-            let (link, next) = self.next_hop(node, to);
-            t = self.links.reserve(link, t);
-            t += self.hop_latency;
-            node = next;
+        match self.topology {
+            Topology::Ring => {
+                // The chosen direction is invariant along a shortest
+                // ring route: each hop shortens the forward distance by
+                // one, so `fwd <= bwd` — once true — stays true (and
+                // once false stays false). Deciding it here once lets
+                // the hop loop step with conditional subtracts instead
+                // of the two modulo reductions [`Interconnect::next_hop`]
+                // pays per hop; the link ids and the order of the
+                // reservations are identical.
+                let d = to + self.n - from;
+                let fwd = if d >= self.n { d - self.n } else { d };
+                let forward = 2 * fwd <= self.n;
+                let hops = if forward { fwd } else { self.n - fwd };
+                let mut node = from;
+                for _ in 0..hops {
+                    let link = if forward { node } else { self.n + node };
+                    t = self.links.reserve(link, t);
+                    t += self.hop_latency;
+                    node = if forward {
+                        if node + 1 == self.n {
+                            0
+                        } else {
+                            node + 1
+                        }
+                    } else if node == 0 {
+                        self.n - 1
+                    } else {
+                        node - 1
+                    };
+                }
+            }
+            Topology::Grid => {
+                let mut node = from;
+                while node != to {
+                    let (link, next) = self.next_hop(node, to);
+                    t = self.links.reserve(link, t);
+                    t += self.hop_latency;
+                    node = next;
+                }
+            }
         }
         t
     }

@@ -66,10 +66,10 @@ mod slots;
 mod stats;
 mod steer;
 
-pub use bankpred::BankPredictor;
+pub use bankpred::{BankPredictor, BANK_BITS, MAX_PREDICTED_BANKS};
 pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{ArrayAccess, CacheArray, MemHierarchy};
-pub use cluster::{latency_of, Cluster, Domain, FuGroup};
+pub use cluster::{latency_of, Cluster, Domain, FuGroup, FU_GROUPS};
 pub use crit::CriticalityPredictor;
 pub use decision::{DecisionReason, DecisionRecord, PolicyState};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyParams};

@@ -8,17 +8,23 @@
 //! (paper §5, after Zyuban & Kogge).
 
 use crate::fxhash::FastMap;
-use std::collections::BTreeSet;
 
 /// One load/store queue slice.
+///
+/// The disambiguation sets are sorted vectors, not `BTreeSet`s: a
+/// slice holds at most its capacity (15 by default) entries, stores
+/// arrive in program order (append), and the hot queries — "any
+/// unresolved store older than this load?" — read only the front.
 #[derive(Debug, Clone, Default)]
 pub struct LsqSlice {
     capacity: usize,
     used: usize,
-    /// Stores whose address is not yet known *at this slice*.
-    unresolved_stores: BTreeSet<u64>,
-    /// Loads that arrived but found an earlier unresolved store.
-    parked_loads: BTreeSet<u64>,
+    /// Stores whose address is not yet known *at this slice*,
+    /// ascending by seq.
+    unresolved_stores: Vec<u64>,
+    /// Loads that arrived but found an earlier unresolved store,
+    /// ascending by seq.
+    parked_loads: Vec<u64>,
     /// Resolved stores by 8-byte word: word → (store seq, time the
     /// data is available here), for forwarding.
     store_words: FastMap<u64, Vec<(u64, u64)>>,
@@ -66,32 +72,40 @@ impl LsqSlice {
     }
 
     /// Records that store `seq`'s address is not yet known here.
+    /// Dispatch calls this in program order, so the common case is a
+    /// plain append; the sorted insert is kept for arbitrary callers.
     pub fn add_unresolved_store(&mut self, seq: u64) {
-        self.unresolved_stores.insert(seq);
+        match self.unresolved_stores.last() {
+            Some(&last) if last > seq => {
+                let pos = self.unresolved_stores.partition_point(|&s| s < seq);
+                self.unresolved_stores.insert(pos, seq);
+            }
+            _ => self.unresolved_stores.push(seq),
+        }
     }
 
     /// Whether a load at `seq` must wait for an earlier store's
     /// address.
     #[inline]
     pub fn blocked(&self, seq: u64) -> bool {
-        self.unresolved_stores.range(..seq).next_back().is_some()
+        self.unresolved_stores.first().is_some_and(|&s| s < seq)
     }
 
     /// Parks a blocked load.
     pub fn park(&mut self, seq: u64) {
-        self.parked_loads.insert(seq);
+        let pos = self.parked_loads.partition_point(|&s| s < seq);
+        self.parked_loads.insert(pos, seq);
     }
 
     /// Marks store `seq` resolved here; returns the parked loads that
-    /// may now proceed.
+    /// may now proceed, oldest first.
     pub fn resolve_store(&mut self, seq: u64) -> Vec<u64> {
-        self.unresolved_stores.remove(&seq);
-        let horizon = self.unresolved_stores.first().copied().unwrap_or(u64::MAX);
-        let free: Vec<u64> = self.parked_loads.range(..horizon).copied().collect();
-        for s in &free {
-            self.parked_loads.remove(s);
+        if let Ok(i) = self.unresolved_stores.binary_search(&seq) {
+            self.unresolved_stores.remove(i);
         }
-        free
+        let horizon = self.unresolved_stores.first().copied().unwrap_or(u64::MAX);
+        let n = self.parked_loads.partition_point(|&s| s < horizon);
+        self.parked_loads.drain(..n).collect()
     }
 
     /// Records a resolved store's word for forwarding, with the time

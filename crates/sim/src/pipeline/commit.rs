@@ -1,6 +1,6 @@
 //! In-order commit: retirement, policy requests, and reconfiguration.
 
-use super::{legal_cluster_count, Processor, RobEntry};
+use super::{legal_cluster_count, Processor, ABSENT};
 use crate::config::CacheModel;
 use crate::observe::SimObserver;
 use crate::reconfig::CommitEvent;
@@ -15,65 +15,94 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             if !head.done || head.done_at > self.now {
                 break;
             }
-            let e = self.rob.pop_front().expect("just peeked");
             n += 1;
-            self.retire(e);
+            self.retire_head();
         }
         self.take_policy_request();
     }
 
-    fn retire(&mut self, mut e: RobEntry) {
-        // Waiters were drained at writeback; recycle whatever capacity
-        // the entry still holds.
-        let waiters = std::mem::take(&mut e.waiters);
-        self.recycle_waiters(waiters);
+    /// Retires the oldest ROB entry. The scalars retirement needs are
+    /// copied out of the head slot and the head advances — the entry
+    /// itself (and its waiter vector's capacity) stays in the slot for
+    /// its next occupant.
+    fn retire_head(&mut self) {
+        let e = &self.rob[0];
+        debug_assert!(e.waiters.is_empty(), "retiring a producer with undrained waiters");
+        let d = e.d;
+        let class = e.class;
+        let cluster = e.cluster;
+        let dest = e.dest;
+        let frees = e.frees;
+        let distant = e.distant;
+        let mispredicted = e.mispredicted;
+        let bank = e.bank;
+        let bank_cluster = e.bank_cluster;
+        let alloc_slice = e.alloc_slice;
+        let copies = e.copies;
+        let copies_mask = e.copies_mask;
+        self.rob.advance_head();
         // Stores write their bank at commit (tags, port, stats); the
         // data is buffered so commit itself does not wait.
-        match e.class {
+        match class {
             OpClass::Store => {
-                let mem_access = e.d.mem.expect("store without address");
-                let ready = self.mem.access(
-                    &mut self.net,
-                    e.bank,
-                    e.bank_cluster,
-                    mem_access.addr,
-                    true,
-                    self.now,
-                    &mut self.stats,
-                );
-                self.observer.on_cache_access(self.now, e.bank, true, ready);
-                self.lsq[e.alloc_slice].release();
-                let forward_slice = self.forward_slice(e.bank);
-                self.lsq[forward_slice].remove_store_data(mem_access.addr >> 3, e.d.seq);
+                // The loader rejects memref records without an address,
+                // so a bare store here is corrupt simulator state:
+                // asserted in debug builds, degraded to skipping the
+                // cache write in release builds.
+                if let Some(mem_access) = d.mem {
+                    let ready = self.mem.access(
+                        &mut self.net,
+                        bank,
+                        bank_cluster,
+                        mem_access.addr,
+                        true,
+                        self.now,
+                        &mut self.stats,
+                    );
+                    self.observer.on_cache_access(self.now, bank, true, ready);
+                    let forward_slice = self.forward_slice(bank);
+                    self.lsq[forward_slice].remove_store_data(mem_access.addr >> 3, d.seq);
+                } else {
+                    debug_assert!(false, "store {} without an address at commit", d.seq);
+                }
+                self.lsq[alloc_slice].release();
                 self.stats.stores += 1;
                 self.stats.memrefs += 1;
             }
             OpClass::Load => {
-                self.lsq[e.alloc_slice].release();
+                self.lsq[alloc_slice].release();
                 self.stats.loads += 1;
                 self.stats.memrefs += 1;
             }
             _ => {}
         }
-        if let Some((cluster, domain)) = e.frees {
-            self.clusters[cluster].free_regs[domain] += 1;
+        if let Some((cluster, domain)) = frees {
+            self.free_regs[domain][cluster] += 1;
         }
-        if let Some(dest) = e.dest {
+        if let Some(dest) = dest {
             let r = dest.unified_index();
-            if self.rename[r] == Some(e.d.seq) {
+            if self.rename[r] == Some(d.seq) {
                 self.rename[r] = None;
-                self.arch_home[r] = e.cluster;
-                self.arch_avail[r] = e.copies;
+                self.arch_home[r] = cluster;
+                // Unwitnessed slots are stale values from the ROB
+                // slot's previous occupant; materialize them as absent.
+                self.arch_avail[r] = std::array::from_fn(|c| {
+                    if copies_mask >> c & 1 == 1 {
+                        copies[c]
+                    } else {
+                        ABSENT
+                    }
+                });
             }
         }
         self.stats.committed += 1;
-        if e.distant {
+        if distant {
             self.stats.distant_issues += 1;
         }
         let mut is_cond = false;
         let mut is_call = false;
         let mut is_return = false;
-        if let Some(b) = e.d.branch {
+        if let Some(b) = d.branch {
             self.stats.branches += 1;
             is_cond = b.kind == BranchKind::Conditional;
             is_call = matches!(b.kind, BranchKind::Call | BranchKind::IndirectCall);
@@ -81,21 +110,21 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             if is_cond {
                 self.stats.cond_branches += 1;
             }
-            if e.mispredicted {
+            if mispredicted {
                 self.stats.mispredicts += 1;
             }
         }
         let event = CommitEvent {
-            seq: e.d.seq,
-            pc: e.d.pc,
+            seq: d.seq,
+            pc: d.pc,
             cycle: self.now,
-            is_branch: e.d.branch.is_some(),
+            is_branch: d.branch.is_some(),
             is_cond_branch: is_cond,
             is_call,
             is_return,
-            is_memref: e.d.mem.is_some(),
-            distant: e.distant,
-            mispredicted: e.mispredicted,
+            is_memref: d.mem.is_some(),
+            distant,
+            mispredicted,
         };
         self.observer.on_commit(&event);
         if let Some(request) = self.policy.on_commit(&event) {

@@ -130,18 +130,16 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         // `needs_reg` widening.)
         let load_needs_slice = decentralized && class == OpClass::Load;
         let needs_reg = dest.is_some() || load_needs_slice;
-        let mut occupancy = [0usize; MAX_CLUSTERS];
         let mut has_free_reg = [false; MAX_CLUSTERS];
-        for c in 0..self.active {
-            occupancy[c] = self.clusters[c].iq_used[domain.index()];
-            has_free_reg[c] = match dest_domain {
-                Some(k) => self.clusters[c].free_regs[k] > 0,
+        for (c, free) in has_free_reg.iter_mut().enumerate().take(self.active) {
+            *free = match dest_domain {
+                Some(k) => self.free_regs[k][c] > 0,
                 None => true,
             } && (!load_needs_slice || self.lsq[c].has_space());
         }
         let request = SteerRequest {
             active: self.active,
-            occupancy: &occupancy[..self.clusters.len()],
+            occupancy: &self.iq_used[domain.index()][..self.clusters.len()],
             capacity: self.clusters[0].iq_cap[domain.index()],
             has_free_reg: &has_free_reg[..self.clusters.len()],
             needs_reg,
@@ -158,18 +156,24 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         if decentralized && is_memref {
             // Train the bank predictor in program order and account
             // accuracy, now that this memref definitely dispatches.
-            let full_mask = self.cfg.clusters.count - 1;
-            let actual_full =
-                (d.mem.expect("memref without address").addr >> 3) as usize & full_mask;
-            self.bankpred.update(d.pc, actual_full as u8);
-            self.stats.bank_predictions += 1;
-            if predicted_bank != actual_full & (self.active - 1) {
-                self.stats.bank_mispredictions += 1;
+            // Memref records without an address are rejected by the
+            // trace loader; a decoded one slipping through is corrupt
+            // state, degraded to skipping the training.
+            if let Some(m) = d.mem {
+                let full_mask = self.cfg.clusters.count - 1;
+                let actual_full = (m.addr >> 3) as usize & full_mask;
+                self.bankpred.update(d.pc, actual_full as u8);
+                self.stats.bank_predictions += 1;
+                if predicted_bank != actual_full & (self.active - 1) {
+                    self.stats.bank_mispredictions += 1;
+                }
+            } else {
+                debug_assert!(false, "memref {} without an address", d.seq);
             }
         }
-        self.clusters[cluster].iq_used[domain.index()] += 1;
+        self.iq_used[domain.index()][cluster] += 1;
         if let Some(k) = dest_domain {
-            self.clusters[cluster].free_regs[k] -= 1;
+            self.free_regs[k][cluster] -= 1;
         }
         let alloc_slice = match (self.cfg.cache.model, class) {
             (CacheModel::Centralized, OpClass::Load | OpClass::Store) => {
@@ -203,34 +207,39 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             }
         });
 
-        let mut entry = super::RobEntry {
-            d,
-            class,
-            cluster,
-            dest,
-            frees,
-            srcs_outstanding: 0,
-            src_arrival: [0; 2],
-            src_present: [false; 2],
-            ready_at: self.now + 1 + self.net.latency(0, cluster),
-            done: false,
-            done_at: 0,
-            distant: false,
-            mispredicted,
-            copies: [ABSENT; MAX_CLUSTERS],
-            waiters: self.waiter_pool.pop().unwrap_or_default(),
-            agu_done: ABSENT,
-            store_value_at: ABSENT,
-            bank: 0,
-            bank_cluster: 0,
-            alloc_slice,
-            active_at_dispatch: self.active,
-        };
+        // Open the tail ROB slot and initialise it in place — the old
+        // stack-built entry cost a full-struct move into the deque.
+        let seq = d.seq;
+        let ready_at = self.now + 1 + self.net.latency(0, cluster);
+        let active = self.active;
+        let idx = self.rob.len();
+        {
+            let e = self.rob.push_slot();
+            e.d = d;
+            e.class = class;
+            e.cluster = cluster;
+            e.dest = dest;
+            e.frees = frees;
+            e.srcs_outstanding = 0;
+            e.src_arrival = [0; 2];
+            e.src_present = [false; 2];
+            e.ready_at = ready_at;
+            e.done = false;
+            e.done_at = 0;
+            e.distant = false;
+            e.mispredicted = mispredicted;
+            e.copies_mask = 0;
+            e.agu_done = ABSENT;
+            e.store_value_at = ABSENT;
+            e.bank = 0;
+            e.bank_cluster = 0;
+            e.alloc_slice = alloc_slice;
+            e.active_at_dispatch = active;
+        }
 
         // Resolve sources: architectural and completed values get (or
-        // schedule) a local copy; in-flight producers get a waiter.
-        let seq = d.seq;
-        let mut pending_waits = std::mem::take(&mut self.pending_waits);
+        // schedule) a local copy; in-flight producers get a waiter,
+        // registered directly on the producer's slot.
         let mut store_value_waited = false;
         for (i, src) in sources.iter().enumerate() {
             let Some(src) = src else { continue };
@@ -238,59 +247,52 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             // but not address generation.
             let store_value = class == OpClass::Store && i == 1;
             if !store_value {
-                entry.src_present[i] = true;
+                self.rob[idx].src_present[i] = true;
             }
             let r = src.unified_index();
             match self.renamed_producer(r) {
-                Some((pseq, pidx)) => {
+                Some((_, pidx)) => {
                     if self.rob[pidx].done {
                         let arrival = self.value_arrival(pidx, cluster);
+                        let e = &mut self.rob[idx];
                         if store_value {
-                            entry.store_value_at = arrival;
+                            e.store_value_at = arrival;
                         } else {
-                            entry.src_arrival[i] = arrival;
-                            entry.ready_at = entry.ready_at.max(arrival);
+                            e.src_arrival[i] = arrival;
+                            e.ready_at = e.ready_at.max(arrival);
                         }
                     } else if store_value {
                         store_value_waited = true;
-                        pending_waits.push((pseq, STORE_VALUE_SLOT));
+                        self.rob[pidx].waiters.push((seq, cluster, STORE_VALUE_SLOT));
                     } else {
-                        entry.srcs_outstanding += 1;
-                        pending_waits.push((pseq, i as u8));
+                        self.rob[idx].srcs_outstanding += 1;
+                        self.rob[pidx].waiters.push((seq, cluster, i as u8));
                     }
                 }
                 None => {
                     let arrival = self.arch_value_arrival(r, cluster);
+                    let e = &mut self.rob[idx];
                     if store_value {
-                        entry.store_value_at = arrival;
+                        e.store_value_at = arrival;
                     } else {
-                        entry.src_arrival[i] = arrival;
-                        entry.ready_at = entry.ready_at.max(arrival);
+                        e.src_arrival[i] = arrival;
+                        e.ready_at = e.ready_at.max(arrival);
                     }
                 }
             }
         }
-        if class == OpClass::Store && entry.store_value_at == ABSENT && !store_value_waited {
+        if class == OpClass::Store && self.rob[idx].store_value_at == ABSENT && !store_value_waited
+        {
             // Stores of the zero register have no data dependence.
-            entry.store_value_at = 0;
+            self.rob[idx].store_value_at = 0;
         }
         if let Some(r) = dest.map(ArchReg::unified_index) {
             self.rename[r] = Some(seq);
         }
-        if entry.srcs_outstanding == 0 {
-            let (group, ready_at) = (FuGroup::of(class), entry.ready_at);
+        if self.rob[idx].srcs_outstanding == 0 {
+            let (group, ready_at) = (FuGroup::of(class), self.rob[idx].ready_at);
             self.cluster_enqueue(cluster, group, ready_at, seq);
         }
-        self.rob.push_back(entry);
-        for &(pseq, slot) in &pending_waits {
-            let Some(pidx) = self.rob_index(pseq) else {
-                debug_assert!(false, "waited-on producer {pseq} left the ROB mid-dispatch");
-                continue;
-            };
-            self.rob[pidx].waiters.push((seq, cluster, slot));
-        }
-        pending_waits.clear();
-        self.pending_waits = pending_waits;
         true
     }
 

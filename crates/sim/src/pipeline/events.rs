@@ -43,10 +43,13 @@ pub(super) enum EventKind {
 }
 
 /// Calendar window per shard, in cycles; a power of two. Nothing in
-/// the machine schedules farther ahead than a memory round trip (far
-/// below this), but events beyond the window are still correct: they
-/// wait in a shared overflow heap until the window reaches them.
-const CAL_WINDOW: usize = 4096;
+/// the machine schedules farther ahead than a memory round trip (~200
+/// cycles at the default latencies), but events beyond the window are
+/// still correct: they wait in a shared overflow heap until the window
+/// reaches them. The window is sized just past that lookahead on
+/// purpose — 16 shards of bucket headers are walked by every push and
+/// pop, so calendar memory is hot-loop working set, not slack space.
+const CAL_WINDOW: usize = 512;
 const CAL_MASK: usize = CAL_WINDOW - 1;
 const CAL_WORDS: usize = CAL_WINDOW / 64;
 
@@ -130,8 +133,16 @@ impl Shard {
         (t, k, idx)
     }
 
-    fn pop(&mut self, idx: usize) -> EventKind {
+    /// Pops the head of bucket `idx` — the shard's earliest event,
+    /// whose time the caller already knows (`time`, its cached head) —
+    /// and returns the kind plus the shard's new head `(time, tick)`
+    /// when it lives in the *same* bucket. Within the window exactly
+    /// one time maps to a bucket, so a non-exhausted bucket's next
+    /// entry is the shard head without touching the occupancy bitmaps;
+    /// `None` means the bucket emptied and the caller must rescan.
+    fn pop_at(&mut self, idx: usize, time: u64) -> (EventKind, Option<(u64, u64)>) {
         let b = &mut self.buckets[idx];
+        debug_assert_eq!(b.items[b.next].0, time, "cached head time desynced from bucket");
         let (_, _, kind) = b.items[b.next];
         b.next += 1;
         self.len -= 1;
@@ -142,8 +153,54 @@ impl Shard {
             if self.occ[idx >> 6] == 0 {
                 self.summary &= !(1 << (idx >> 6));
             }
+            (kind, None)
+        } else {
+            (kind, Some((time, b.items[b.next].1)))
         }
-        kind
+    }
+}
+
+/// A winner tree over the shard head keys: `nodes[1]` holds the
+/// minimum `(time, tick, shard)` of all leaves, and changing one
+/// leaf's key replays only its root path — `log2(shards)` comparisons,
+/// where the flat scan it replaced compared every non-empty shard on
+/// every pop. Ticks are globally unique, so the minimum (and therefore
+/// the drain order) is unambiguous.
+#[derive(Debug)]
+struct HeadTree {
+    /// Implicit binary tree: internal nodes in `[1, size)`, leaf for
+    /// shard `c` at `size + c`. Padding leaves stay `(MAX, MAX, _)`.
+    nodes: Vec<(u64, u64, u32)>,
+    size: usize,
+}
+
+impl HeadTree {
+    fn new(shards: usize) -> HeadTree {
+        let size = shards.next_power_of_two().max(2);
+        let mut nodes = vec![(u64::MAX, u64::MAX, 0); 2 * size];
+        for c in 0..shards {
+            nodes[size + c].2 = c as u32;
+        }
+        HeadTree { nodes, size }
+    }
+
+    /// Sets shard `shard`'s head key and replays its path to the root.
+    #[inline]
+    fn update(&mut self, shard: usize, key: (u64, u64)) {
+        let mut n = self.size + shard;
+        self.nodes[n] = (key.0, key.1, shard as u32);
+        while n > 1 {
+            n >>= 1;
+            let l = self.nodes[2 * n];
+            let r = self.nodes[2 * n + 1];
+            self.nodes[n] = if (l.0, l.1) <= (r.0, r.1) { l } else { r };
+        }
+    }
+
+    /// The minimum head key and its shard.
+    #[inline]
+    fn min(&self) -> (u64, u64, u32) {
+        self.nodes[1]
     }
 }
 
@@ -159,16 +216,19 @@ impl Shard {
 /// cycle), append order is tick order because ticks grow with every
 /// push and overflow migration always precedes a same-time insert.
 ///
-/// The frontier is `mask` (bit per non-empty shard, scanned in O(set
-/// bits)) plus `next_due`, a lower bound on the earliest pending event
-/// time: on cycles with nothing due, the drain returns after one
-/// comparison, so a wide machine with idle clusters pays nothing for
-/// their empty queues.
+/// The frontier is the [`HeadTree`] minimum plus `next_due`, a lower
+/// bound on the earliest pending event time: on cycles with nothing
+/// due, the drain returns after one comparison, so a wide machine with
+/// idle clusters pays nothing for their empty queues.
 #[derive(Debug)]
 pub(super) struct EventShards {
     shards: Vec<Shard>,
-    /// Bit `c` set ⇔ shard `c` has undelivered events.
-    mask: u32,
+    /// Cached earliest undelivered `(time, tick)` per shard —
+    /// `(u64::MAX, u64::MAX)` when empty. Only the shard actually
+    /// popped recomputes its head from calendar memory.
+    heads: Vec<(u64, u64)>,
+    /// Winner tree over `heads`; its root is the next event to fire.
+    tree: HeadTree,
     /// Global tie-break counter, monotone across all shards.
     tick: u64,
     /// Lower bound on the earliest pending event time; exact after a
@@ -187,7 +247,8 @@ impl EventShards {
     pub(super) fn new(shards: usize) -> EventShards {
         EventShards {
             shards: (0..shards).map(|_| Shard::new()).collect(),
-            mask: 0,
+            heads: vec![(u64::MAX, u64::MAX); shards],
+            tree: HeadTree::new(shards),
             tick: 0,
             next_due: u64::MAX,
             floor: 0,
@@ -197,7 +258,10 @@ impl EventShards {
 
     fn insert(&mut self, shard: usize, time: u64, tick: u64, kind: EventKind) {
         self.shards[shard].insert(time, tick, kind);
-        self.mask |= 1 << shard;
+        if (time, tick) < self.heads[shard] {
+            self.heads[shard] = (time, tick);
+            self.tree.update(shard, (time, tick));
+        }
     }
 
     /// Moves overflow events with `time <= limit` (and within the
@@ -239,12 +303,12 @@ impl EventShards {
     /// returning it with the shard it waited in (the host profiler's
     /// load-skew attribution key).
     ///
-    /// Scans the head of every non-empty shard for the minimum
-    /// `(time, tick)`; ticks are globally unique, so the winner is
-    /// unambiguous and matches the pop order of one machine-wide heap.
-    /// Returns `None` — after refreshing `next_due` exactly — once
-    /// nothing is due, so the caller's next idle cycle is a single
-    /// comparison.
+    /// Reads the winner tree's root for the minimum `(time, tick)`
+    /// head; ticks are globally unique, so the winner is unambiguous
+    /// and matches the pop order of one machine-wide heap. Only the
+    /// winning shard's calendar memory is touched. Returns `None` —
+    /// after refreshing `next_due` exactly — once nothing is due, so
+    /// the caller's next idle cycle is a single comparison.
     fn pop_due(&mut self, now: u64) -> Option<(usize, EventKind)> {
         if self.next_due > now {
             return None;
@@ -253,29 +317,32 @@ impl EventShards {
             if !self.overflow.is_empty() {
                 self.migrate_overflow_upto(now);
             }
-            let mut best: Option<(u64, u64, usize, usize)> = None;
-            let mut m = self.mask;
-            while m != 0 {
-                let c = m.trailing_zeros() as usize;
-                m &= m - 1;
-                let (t, k, idx) = self.shards[c].head(self.floor);
-                if best.is_none_or(|(bt, bk, ..)| (t, k) < (bt, bk)) {
-                    best = Some((t, k, c, idx));
-                }
-            }
-            match best {
-                Some((t, _, c, idx)) if t <= now => {
-                    let kind = self.shards[c].pop(idx);
-                    if self.shards[c].len == 0 {
-                        self.mask &= !(1 << c);
-                    }
+            // `t == u64::MAX` is the tree's "all shards empty" key,
+            // not a due event — no real event is ever scheduled there
+            // (times are `now` plus bounded latencies).
+            match self.tree.min() {
+                (t, _, c) if t <= now && t != u64::MAX => {
+                    let c = c as usize;
+                    // The cached head names the bucket directly; no
+                    // occupancy-bitmap walk on the common path.
+                    let idx = t as usize & CAL_MASK;
+                    let (kind, same_bucket) = self.shards[c].pop_at(idx, t);
+                    let head = if self.shards[c].len == 0 {
+                        (u64::MAX, u64::MAX)
+                    } else if let Some(head) = same_bucket {
+                        head
+                    } else {
+                        let (ht, hk, _) = self.shards[c].head(self.floor);
+                        (ht, hk)
+                    };
+                    self.heads[c] = head;
+                    self.tree.update(c, head);
                     return Some((c, kind));
                 }
-                other => {
+                (t, ..) => {
                     // Nothing due in the calendars; `t` and the overflow
                     // head bound every live event, so the floor may rise
                     // to their minimum.
-                    let t = other.map_or(u64::MAX, |(t, ..)| t);
                     let oh = self.overflow_head_time();
                     if !self.overflow.is_empty() && oh <= now {
                         // A due overflow event was blocked by the stale
@@ -359,14 +426,19 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         self.rob[idx].done = true;
         self.rob[idx].done_at = self.now;
         self.rob[idx].copies[cluster] = self.now;
+        self.rob[idx].copies_mask |= 1 << cluster;
 
         // Wake consumers, transferring the value to their clusters.
-        let waiters = std::mem::take(&mut self.rob[idx].waiters);
-        for &(wseq, wcluster, slot) in &waiters {
+        // Walked by index: the handlers touch only the *consumers'*
+        // entries (a waiter never waits on itself) and never grow this
+        // producer's list, so the slot's vector stays put and keeps
+        // its capacity instead of round-tripping through a side pool.
+        for w in 0..self.rob[idx].waiters.len() {
+            let (wseq, wcluster, slot) = self.rob[idx].waiters[w];
             let arrival = self.value_arrival(idx, wcluster);
             self.source_arrived(wseq, arrival, slot);
         }
-        self.recycle_waiters(waiters);
+        self.rob[idx].waiters.clear();
 
         // A mispredicted control transfer restarts fetch once the
         // redirect reaches the front end (co-located with cluster 0).
@@ -382,7 +454,12 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         // finalise its forwarding record at the bank slice and release
         // any loads waiting on its data.
         if self.rob[idx].class == OpClass::Store {
-            let mem_access = self.rob[idx].d.mem.expect("store without address");
+            // Memref-without-address traces are rejected at load; see
+            // `rob_index` for the release-degrade posture.
+            let Some(mem_access) = self.rob[idx].d.mem else {
+                debug_assert!(false, "store {seq} without an address at writeback");
+                return;
+            };
             let fslice = self.forward_slice(self.rob[idx].bank);
             let avail = self.now + self.net.latency(cluster, fslice);
             self.lsq[fslice].update_store_data(mem_access.addr >> 3, seq, avail);
@@ -403,21 +480,12 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         }
     }
 
-    /// Returns a waiter vector's capacity to the reuse pool (bounded
-    /// so a pathological phase cannot pin memory).
-    pub(super) fn recycle_waiters(&mut self, mut waiters: Vec<(u64, usize, u8)>) {
-        if waiters.capacity() > 0 && self.waiter_pool.len() < 256 {
-            waiters.clear();
-            self.waiter_pool.push(waiters);
-        }
-    }
-
     /// When `entry`'s result reaches cluster `to`, scheduling a
     /// transfer if it is not already there or en route.
     pub(super) fn value_arrival(&mut self, idx: usize, to: usize) -> u64 {
         let from = self.rob[idx].cluster;
         let done = self.rob[idx].done_at;
-        if self.rob[idx].copies[to] != ABSENT {
+        if self.rob[idx].copies_mask >> to & 1 == 1 {
             return self.rob[idx].copies[to];
         }
         let arrival = if to == from {
@@ -431,6 +499,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             a
         };
         self.rob[idx].copies[to] = arrival;
+        self.rob[idx].copies_mask |= 1 << to;
         arrival
     }
 
@@ -463,7 +532,11 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     fn broadcast_store(&mut self, idx: usize) {
         let seq = self.rob[idx].d.seq;
         let cluster = self.rob[idx].cluster;
-        let addr = self.rob[idx].d.mem.expect("store without address").addr;
+        let Some(mem_access) = self.rob[idx].d.mem else {
+            debug_assert!(false, "store {seq} without an address at broadcast");
+            return;
+        };
+        let addr = mem_access.addr;
         let word = addr >> 3;
         match self.cfg.cache.model {
             CacheModel::Centralized => {
@@ -520,7 +593,11 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             return;
         };
         let cluster = self.rob[idx].cluster;
-        let addr = self.rob[idx].d.mem.expect("load without address").addr;
+        let Some(mem_access) = self.rob[idx].d.mem else {
+            debug_assert!(false, "load {seq} without an address at the AGU");
+            return;
+        };
+        let addr = mem_access.addr;
         match self.cfg.cache.model {
             CacheModel::Centralized => {
                 self.rob[idx].bank = self.mem.bank_of(addr, self.cfg.cache.l1_banks);
@@ -552,7 +629,10 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             debug_assert!(false, "proceeding load {seq} not in the ROB");
             return;
         };
-        let mem_access = self.rob[idx].d.mem.expect("load without address");
+        let Some(mem_access) = self.rob[idx].d.mem else {
+            debug_assert!(false, "load {seq} without an address at the LSQ");
+            return;
+        };
         let (bank, bank_cluster, cluster) =
             (self.rob[idx].bank, self.rob[idx].bank_cluster, self.rob[idx].cluster);
         let word = mem_access.addr >> 3;
@@ -654,7 +734,7 @@ mod tests {
         assert_eq!(s.next_due, 7);
         assert_eq!(s.pop_due(7), Some((0, wb(1))));
         assert_eq!(s.pop_due(u64::MAX), None);
-        assert_eq!(s.mask, 0, "drained shards leave the frontier");
+        assert_eq!(s.tree.min().0, u64::MAX, "drained shards leave the frontier");
         assert_eq!(s.next_due, u64::MAX);
     }
 
@@ -675,15 +755,16 @@ mod tests {
     /// order must still win over ring order.
     #[test]
     fn calendar_ring_wrap_keeps_time_order() {
+        let w = super::CAL_WINDOW as u64;
         let mut s = EventShards::new(1);
-        s.push(0, 4000, wb(1));
-        assert_eq!(s.pop_due(4000), Some((0, wb(1))));
-        assert_eq!(s.pop_due(4000), None); // floor advances to 4001
-        s.push(0, super::CAL_WINDOW as u64 - 1, wb(2)); // bucket 4095
-        s.push(0, 5000, wb(3)); // bucket 5000 % 4096 = 904, wrapped
-        assert_eq!(s.pop_due(5000), Some((0, wb(2))));
-        assert_eq!(s.pop_due(5000), Some((0, wb(3))));
-        assert_eq!(s.pop_due(5000), None);
+        s.push(0, w - 100, wb(1));
+        assert_eq!(s.pop_due(w - 100), Some((0, wb(1))));
+        assert_eq!(s.pop_due(w - 100), None); // floor advances past w - 100
+        s.push(0, w - 1, wb(2)); // last bucket of the ring
+        s.push(0, w + 300, wb(3)); // wraps to a bucket before the floor's
+        assert_eq!(s.pop_due(w + 300), Some((0, wb(2))));
+        assert_eq!(s.pop_due(w + 300), Some((0, wb(3))));
+        assert_eq!(s.pop_due(w + 300), None);
     }
 
     /// Events beyond the calendar window park in the overflow heap and
@@ -699,7 +780,7 @@ mod tests {
         assert_eq!(s.next_due, far, "overflow head drives the frontier");
         assert_eq!(s.pop_due(far), Some((1, wb(1))), "returns with the shard it waited in");
         assert_eq!(s.pop_due(u64::MAX), None);
-        assert_eq!(s.mask, 0);
+        assert_eq!(s.tree.min().0, u64::MAX);
     }
 
     /// A push migrates older same-cycle overflow events first, so

@@ -42,7 +42,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
                 let (lat, pipelined) = latency_of(&self.cfg.exec, class);
                 let busy_until = if pipelined { self.now + 1 } else { self.now + lat };
                 self.clusters[c].occupy(group, unit, busy_until);
-                self.clusters[c].iq_used[Domain::of(class).index()] -= 1;
+                self.iq_used[Domain::of(class).index()][c] -= 1;
                 self.observer.on_issue(self.now, seq, c);
                 self.rob[idx].distant =
                     head_seq.is_some_and(|h| seq - h >= DISTANT_DEPTH);

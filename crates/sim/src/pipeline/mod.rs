@@ -102,6 +102,9 @@ struct Fetched {
     mispredicted: bool,
 }
 
+// `RobEntry::copies_mask` carries one validity bit per cluster.
+const _: () = assert!(MAX_CLUSTERS <= 16, "copies_mask is a u16");
+
 #[derive(Debug)]
 struct RobEntry {
     d: DecodedInst,
@@ -120,8 +123,13 @@ struct RobEntry {
     done_at: u64,
     distant: bool,
     mispredicted: bool,
-    /// Cycles-per-cluster availability of this entry's result.
+    /// Cycles-per-cluster availability of this entry's result. Slot
+    /// `c` is meaningful only when bit `c` of `copies_mask` is set —
+    /// the mask is what dispatch resets, so slot reuse costs two bytes
+    /// instead of re-filling this whole array with `ABSENT`.
     copies: [u64; MAX_CLUSTERS],
+    /// Bit `c` ⇔ `copies[c]` holds this entry's arrival at cluster `c`.
+    copies_mask: u16,
     /// Consumers waiting on this result: (seq, cluster, source slot —
     /// 0/1 for issue-gating operands, [`STORE_VALUE_SLOT`] for a
     /// store's data).
@@ -138,6 +146,126 @@ struct RobEntry {
     alloc_slice: usize,
     /// Active cluster count when dispatched.
     active_at_dispatch: usize,
+}
+
+impl RobEntry {
+    /// An empty slot for the ROB ring's initial allocation. Every
+    /// field is overwritten by [`RobRing::push_slot`]'s caller before
+    /// the entry is observable.
+    fn vacant() -> RobEntry {
+        RobEntry {
+            d: DecodedInst {
+                seq: 0,
+                pc: 0,
+                class: OpClass::IntAlu,
+                srcs: [None; 2],
+                dest: None,
+                mem: None,
+                branch: None,
+            },
+            class: OpClass::IntAlu,
+            cluster: 0,
+            dest: None,
+            frees: None,
+            srcs_outstanding: 0,
+            src_arrival: [0; 2],
+            src_present: [false; 2],
+            ready_at: 0,
+            done: false,
+            done_at: 0,
+            distant: false,
+            mispredicted: false,
+            copies: [ABSENT; MAX_CLUSTERS],
+            copies_mask: 0,
+            waiters: Vec::new(),
+            agu_done: ABSENT,
+            store_value_at: ABSENT,
+            bank: 0,
+            bank_cluster: 0,
+            alloc_slice: 0,
+            active_at_dispatch: 0,
+        }
+    }
+}
+
+/// The re-order buffer: fixed slots in a power-of-two ring.
+///
+/// A `VecDeque<RobEntry>` moved every ~400-byte entry twice — once
+/// built on the stack and pushed at dispatch, once popped at commit —
+/// and the waiter `Vec` inside had to be recycled through a side pool
+/// to survive those moves. Entries now live in place: dispatch writes
+/// the tail slot's fields directly, commit copies out the handful of
+/// scalars retirement needs and advances the head, and each slot's
+/// waiter vector keeps its allocation for the slot's next occupant.
+///
+/// Indexing is by *logical* position (0 = oldest), which keeps
+/// [`Processor::rob_index`]'s `seq - head_seq` arithmetic unchanged.
+struct RobRing {
+    slots: Box<[RobEntry]>,
+    /// Physical index of logical position 0.
+    head: usize,
+    len: usize,
+    mask: usize,
+}
+
+impl RobRing {
+    fn new(capacity: usize) -> RobRing {
+        let cap = capacity.next_power_of_two();
+        RobRing {
+            slots: (0..cap).map(|_| RobEntry::vacant()).collect(),
+            head: 0,
+            len: 0,
+            mask: cap - 1,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn front(&self) -> Option<&RobEntry> {
+        (self.len > 0).then(|| &self.slots[self.head])
+    }
+
+    /// Opens the tail slot for in-place initialisation. The caller
+    /// must overwrite every field; `waiters` is cleared here and its
+    /// capacity carries over from the slot's previous occupant.
+    fn push_slot(&mut self) -> &mut RobEntry {
+        debug_assert!(self.len <= self.mask, "ROB ring overfull");
+        let idx = (self.head + self.len) & self.mask;
+        self.len += 1;
+        let slot = &mut self.slots[idx];
+        slot.waiters.clear();
+        slot
+    }
+
+    /// Retires logical position 0; its slot becomes reusable.
+    fn advance_head(&mut self) {
+        debug_assert!(self.len > 0, "advancing an empty ROB");
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+}
+
+impl std::ops::Index<usize> for RobRing {
+    type Output = RobEntry;
+    #[inline]
+    fn index(&self, i: usize) -> &RobEntry {
+        debug_assert!(i < self.len, "ROB index {i} out of {}", self.len);
+        &self.slots[(self.head + i) & self.mask]
+    }
+}
+
+impl std::ops::IndexMut<usize> for RobRing {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut RobEntry {
+        debug_assert!(i < self.len, "ROB index {i} out of {}", self.len);
+        &mut self.slots[(self.head + i) & self.mask]
+    }
 }
 
 /// The simulated processor.
@@ -157,8 +285,16 @@ pub struct Processor<T, O = NullObserver> {
     crit: CriticalityPredictor,
     steering: Steering,
     clusters: Vec<Cluster>,
+    /// Issue-queue occupancy, `[domain][cluster]`. Dense (rather than
+    /// a field of [`Cluster`]) because dispatch builds a steering
+    /// snapshot over every active cluster per instruction — one array
+    /// walk instead of striding across sixteen `Cluster` structs.
+    iq_used: [[usize; MAX_CLUSTERS]; 2],
+    /// Free physical registers, `[domain][cluster]`; dense for the
+    /// same reason.
+    free_regs: [[usize; MAX_CLUSTERS]; 2],
     lsq: Vec<LsqSlice>,
-    rob: VecDeque<RobEntry>,
+    rob: RobRing,
     rename: [Option<u64>; 64],
     arch_home: [usize; 64],
     arch_avail: [[u64; MAX_CLUSTERS]; 64],
@@ -188,13 +324,6 @@ pub struct Processor<T, O = NullObserver> {
     /// Scratch for draining `loads_waiting_data` matches without
     /// holding a borrow across `proceed_load`.
     waiting_scratch: Vec<(u64, usize)>,
-    /// Reused rename-time scratch for (producer seq, source slot)
-    /// waiter registrations.
-    pending_waits: Vec<(u64, u8)>,
-    /// Recycled waiter vectors: consumers lists drained at writeback
-    /// keep their capacity for future ROB entries instead of being
-    /// reallocated once per producing instruction.
-    waiter_pool: Vec<Vec<(u64, usize, u8)>>,
     now: u64,
     active: usize,
     pending_reconfig: Option<usize>,
@@ -290,9 +419,16 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             arch_home[r] = home;
             reserved[home][usize::from(r >= 32)] += 1;
         }
-        let clusters: Vec<Cluster> = (0..count)
-            .map(|c| Cluster::new(&cfg.clusters, reserved[c][0], reserved[c][1]))
-            .collect();
+        let clusters: Vec<Cluster> = (0..count).map(|_| Cluster::new(&cfg.clusters)).collect();
+        let mut free_regs = [[0usize; MAX_CLUSTERS]; 2];
+        for c in 0..count {
+            assert!(
+                reserved[c][0] < cfg.clusters.int_regs && reserved[c][1] < cfg.clusters.fp_regs,
+                "architectural state exceeds the cluster register file"
+            );
+            free_regs[0][c] = cfg.clusters.int_regs - reserved[c][0];
+            free_regs[1][c] = cfg.clusters.fp_regs - reserved[c][1];
+        }
         let lsq = match cfg.cache.model {
             CacheModel::Centralized => vec![LsqSlice::new(cfg.cache.lsq_per_cluster * count)],
             CacheModel::Decentralized => {
@@ -312,8 +448,10 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             crit: CriticalityPredictor::new(cfg.crit.table_size),
             steering: Steering::new(steering),
             clusters,
+            iq_used: [[0; MAX_CLUSTERS]; 2],
+            free_regs,
             lsq,
-            rob: VecDeque::with_capacity(cfg.frontend.rob_size),
+            rob: RobRing::new(cfg.frontend.rob_size),
             rename: [None; 64],
             arch_home,
             arch_avail: [[0; MAX_CLUSTERS]; 64],
@@ -328,8 +466,6 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             queued_mask: 0,
             loads_waiting_data: Vec::new(),
             waiting_scratch: Vec::new(),
-            pending_waits: Vec::new(),
-            waiter_pool: Vec::new(),
             now: 0,
             active: initial,
             pending_reconfig: None,
@@ -379,13 +515,12 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     /// clusters — disabled clusters hold no instructions, and
     /// reporting their idle resources made `diag` output misleading.
     pub fn occupancy_snapshot(&self) -> OccupancySnapshot {
-        let enabled = &self.clusters[..self.active];
         OccupancySnapshot {
             rob: self.rob.len(),
             fetch_queue: self.fetch_queue.len(),
             active: self.active,
-            free_regs: enabled.iter().map(|c| c.free_regs).collect(),
-            iq_used: enabled.iter().map(|c| c.iq_used).collect(),
+            free_regs: (0..self.active).map(|c| [self.free_regs[0][c], self.free_regs[1][c]]).collect(),
+            iq_used: (0..self.active).map(|c| [self.iq_used[0][c], self.iq_used[1][c]]).collect(),
             lsq_used: self.lsq.iter().map(LsqSlice::occupancy).collect(),
         }
     }

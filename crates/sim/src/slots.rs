@@ -19,8 +19,14 @@
 //! old entries.
 
 /// Sliding-window length in cycles; must be a power of two and larger
-/// than any scheduling lookahead.
-const WINDOW: usize = 8192;
+/// than any scheduling lookahead. Sized just past the real lookahead
+/// (a memory round trip plus contention queueing, a few hundred
+/// cycles): every resource's ring is hot-loop working set, and an
+/// oversized window turns each reservation into a cache miss. Two
+/// *concurrently live* reservations a full window apart would alias to
+/// the same slot; the debug assertion in [`SlotReservations::reserve`]
+/// pins that they never are.
+const WINDOW: usize = 1024;
 
 /// Per-resource one-slot-per-cycle reservation tracking.
 #[derive(Debug, Clone, Default)]
@@ -62,6 +68,17 @@ impl SlotReservations {
         while ring[t as usize & (WINDOW - 1)] == t {
             t += 1;
         }
+        // A slot only ever holds one exact cycle, so an aliased entry
+        // (same residue, different cycle) is overwritten. That is safe
+        // for *older* entries — no request can target a cycle that far
+        // behind the one being granted — but overwriting a *later*
+        // cycle would silently drop a live future reservation: the
+        // lookahead-fits-the-window premise the module relies on.
+        debug_assert!(
+            ring[t as usize & (WINDOW - 1)] == u64::MAX || ring[t as usize & (WINDOW - 1)] < t,
+            "granting cycle {t} would drop a live reservation for cycle {} (window {WINDOW})",
+            ring[t as usize & (WINDOW - 1)],
+        );
         ring[t as usize & (WINDOW - 1)] = t;
         t
     }

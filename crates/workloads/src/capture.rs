@@ -52,11 +52,11 @@ use std::sync::{Arc, OnceLock};
 /// this invariant after every point.
 pub const CAPTURE_MARGIN: u64 = 8_192;
 
-const MEM_BIT: u16 = 1 << 0;
-const STORE_BIT: u16 = 1 << 1;
-const SIZE_SHIFT: u16 = 2; // two bits: 0 → 1 byte, 1 → 4, 2 → 8
+pub(crate) const MEM_BIT: u16 = 1 << 0;
+pub(crate) const STORE_BIT: u16 = 1 << 1;
+pub(crate) const SIZE_SHIFT: u16 = 2; // two bits: 0 → 1 byte, 1 → 4, 2 → 8
 pub(crate) const BRANCH_BIT: u16 = 1 << 4;
-const KIND_SHIFT: u16 = 5; // three bits, `kind_code` order
+pub(crate) const KIND_SHIFT: u16 = 5; // three bits, `kind_code` order
 pub(crate) const TAKEN_BIT: u16 = 1 << 8;
 
 /// One dynamic instruction in 24 bytes: effective address, fetch PC,
@@ -124,6 +124,70 @@ fn pack(d: &DynInst) -> PackedInst {
         next_pc = b.next_pc;
     }
     PackedInst { addr, pc: d.pc, next_pc, flags }
+}
+
+/// Checks a record's flag word against the static instruction at its
+/// PC: the emulator emits a memory access exactly for loads and stores
+/// (with the matching direction and width) and a branch outcome
+/// exactly for control transfers (with the kind the opcode implies).
+/// A record violating this did not come from the encoder, and
+/// replaying it would hand the timing model impossible state — e.g. a
+/// store with no address. Returns what disagreed, for the loader's
+/// error message.
+pub(crate) fn record_flags_match(
+    inst: &clustered_isa::Inst,
+    flags: u16,
+) -> Result<(), &'static str> {
+    use clustered_isa::OpClass;
+    let class = inst.op_class();
+    let is_memref = matches!(class, OpClass::Load | OpClass::Store);
+    if (flags & MEM_BIT != 0) != is_memref {
+        return Err(if is_memref {
+            "a load/store instruction without a memory record"
+        } else {
+            "a memory record on a non-memref instruction"
+        });
+    }
+    if is_memref {
+        if (flags & STORE_BIT != 0) != (class == OpClass::Store) {
+            return Err("record store direction disagrees with the instruction");
+        }
+        let width = match inst {
+            clustered_isa::Inst::Load { width, .. } | clustered_isa::Inst::Store { width, .. } => {
+                width.bytes() as u16
+            }
+            _ => 8, // FP loads/stores are doubles
+        };
+        let coded = match (flags >> SIZE_SHIFT) & 0b11 {
+            0 => 1,
+            1 => 4,
+            _ => 8,
+        };
+        if coded != width {
+            return Err("record access size disagrees with the instruction");
+        }
+    }
+    if (flags & BRANCH_BIT != 0) != inst.is_control() {
+        return Err(if inst.is_control() {
+            "a control transfer without a branch record"
+        } else {
+            "a branch record on a non-control instruction"
+        });
+    }
+    if inst.is_control() {
+        let expected = kind_code(match inst {
+            clustered_isa::Inst::Branch { .. } => BranchKind::Conditional,
+            clustered_isa::Inst::Jump { .. } => BranchKind::Jump,
+            clustered_isa::Inst::JumpReg { .. } => BranchKind::Indirect,
+            clustered_isa::Inst::Call { .. } => BranchKind::Call,
+            clustered_isa::Inst::CallReg { .. } => BranchKind::IndirectCall,
+            _ => BranchKind::Return,
+        });
+        if (flags >> KIND_SHIFT) & 0b111 != expected {
+            return Err("record branch kind disagrees with the instruction");
+        }
+    }
+    Ok(())
 }
 
 fn unpack(seq: u64, p: PackedInst, program: &Program) -> DynInst {

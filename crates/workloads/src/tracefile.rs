@@ -30,9 +30,13 @@
 //! File input is untrusted, so the load path is `Result`-typed and
 //! validated end to end: [`CapturedTrace::load`] returns a
 //! [`TraceFileError`] for bad magic, unsupported versions or flags,
-//! truncated sections, checksum mismatches, malformed records, and
-//! record PCs outside the program text — never a panic. A corruption
-//! matrix test flips and truncates every section to pin this down.
+//! truncated sections, checksum mismatches, malformed records, record
+//! PCs outside the program text, and records whose flag words disagree
+//! with the static instruction at their PC (a store with no address, a
+//! phantom branch) — never a panic. Corruption-matrix tests flip and
+//! truncate every section to pin this down; the class check is what
+//! lets the timing pipeline treat "memref without an address" as
+//! unreachable-from-file-input rather than a latent panic.
 //!
 //! # Capture cache
 //!
@@ -135,6 +139,18 @@ pub enum TraceFileError {
         /// The malformed flag word.
         flags: u16,
     },
+    /// A record's flag word disagrees with the static instruction at
+    /// its PC — e.g. a store with no memory address, or a branch
+    /// record on an ALU op. Replaying such a record would feed the
+    /// timing model state the emulator can never produce.
+    RecordClassMismatch {
+        /// Index of the offending record.
+        index: u64,
+        /// The record's fetch PC.
+        pc: u32,
+        /// What disagreed.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for TraceFileError {
@@ -171,6 +187,9 @@ impl fmt::Display for TraceFileError {
             }
             TraceFileError::InvalidRecord { index, flags } => {
                 write!(f, "record {index} has malformed flags {flags:#06x}")
+            }
+            TraceFileError::RecordClassMismatch { index, pc, detail } => {
+                write!(f, "record {index} (pc {pc}): {detail}")
             }
         }
     }
@@ -344,6 +363,16 @@ impl CapturedTrace {
             }
             if record.pc as usize >= text_len {
                 return Err(TraceFileError::RecordPcOutOfText { index, pc: record.pc, text_len });
+            }
+            // The flag word must agree with the static instruction the
+            // PC names: the timing pipeline relies on every load/store
+            // carrying an address (and nothing else carrying one), so a
+            // mismatched record is rejected here instead of surfacing
+            // as corrupt simulator state mid-run.
+            if let Err(detail) =
+                crate::capture::record_flags_match(&program.text()[record.pc as usize], record.flags)
+            {
+                return Err(TraceFileError::RecordClassMismatch { index, pc: record.pc, detail });
             }
             records.push(record);
         }
@@ -662,6 +691,68 @@ mod tests {
         assert!(matches!(
             CapturedTrace::from_bytes(&bad),
             Err(TraceFileError::BadUtf8 { section: "name" })
+        ));
+    }
+
+    /// Records whose flag words disagree with their static instruction
+    /// — a store with no address, a mislabelled direction, a phantom
+    /// branch — are rejected with [`TraceFileError::RecordClassMismatch`]
+    /// instead of surfacing as corrupt pipeline state mid-simulation.
+    #[test]
+    fn record_class_mismatches_yield_typed_errors() {
+        use crate::capture::{BRANCH_BIT, KIND_SHIFT, MEM_BIT, SIZE_SHIFT, STORE_BIT};
+        let good = tiny_bytes();
+        let name_len = read_u32(&good, 24) as usize;
+        let text_len = read_u32(&good, 28) as usize;
+        let first_record = HEADER_LEN + name_len + text_len;
+        let flags_at = |bytes: &[u8], index: usize| -> u16 {
+            read_u16(bytes, first_record + index * RECORD_LEN + 16)
+        };
+        let with_flags = |index: usize, flags: u16| -> Vec<u8> {
+            let mut bad = good.clone();
+            let at = first_record + index * RECORD_LEN + 16;
+            bad[at..at + 2].copy_from_slice(&flags.to_le_bytes());
+            fix_checksum(&mut bad);
+            bad
+        };
+        // Dynamic record order of `tiny_workload`'s first iteration:
+        // la(0) li(1) sd(2) ld(3) call(4) addi(5) ret(6) bnez(7).
+        let (alu, store, load, call) = (0usize, 2usize, 3usize, 4usize);
+        assert_eq!(flags_at(&good, store) & (MEM_BIT | STORE_BIT), MEM_BIT | STORE_BIT);
+        assert_eq!(flags_at(&good, load) & (MEM_BIT | STORE_BIT), MEM_BIT);
+        assert_ne!(flags_at(&good, call) & BRANCH_BIT, 0);
+
+        let cases: [(usize, u16, &str); 7] = [
+            // A store record stripped of its memory access: exactly the
+            // shape that used to reach `expect("store without an
+            // address")` deep in the pipeline.
+            (store, flags_at(&good, store) & !(MEM_BIT | STORE_BIT | (0b11 << SIZE_SHIFT)), "without a memory record"),
+            (alu, flags_at(&good, alu) | MEM_BIT, "non-memref"),
+            (store, flags_at(&good, store) & !STORE_BIT, "direction"),
+            (load, flags_at(&good, load) | STORE_BIT, "direction"),
+            (call, flags_at(&good, call) & !(BRANCH_BIT | (0b111 << KIND_SHIFT)), "without a branch record"),
+            (alu, flags_at(&good, alu) | BRANCH_BIT, "non-control"),
+            (store, (flags_at(&good, store) & !(0b11 << SIZE_SHIFT)) | (0b01 << SIZE_SHIFT), "access size"),
+        ];
+        for (index, flags, needle) in cases {
+            let bad = with_flags(index, flags);
+            match CapturedTrace::from_bytes(&bad) {
+                Err(e @ TraceFileError::RecordClassMismatch { index: i, .. }) => {
+                    assert_eq!(i, index as u64, "wrong record blamed");
+                    let msg = e.to_string();
+                    assert!(msg.contains(needle), "error {msg:?} does not mention {needle:?}");
+                }
+                other => panic!("record {index} flags {flags:#06x}: expected RecordClassMismatch, got {other:?}"),
+            }
+        }
+
+        // A mismatched branch *kind* on an otherwise-valid control
+        // record: call(3) rewritten as a return(5).
+        let call_flags = flags_at(&good, call);
+        let bad = with_flags(call, (call_flags & !(0b111 << KIND_SHIFT)) | (5 << KIND_SHIFT));
+        assert!(matches!(
+            CapturedTrace::from_bytes(&bad),
+            Err(TraceFileError::RecordClassMismatch { detail, .. }) if detail.contains("branch kind")
         ));
     }
 

@@ -12,6 +12,22 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> schedule oracles under debug assertions"
+# The backend's hot-loop rebuild leans on invariants that only
+# debug_assert! checks (event floor monotonicity, slot-window span,
+# ROB indexing): run the bit-identity oracles explicitly in a
+# debug-assertions build so a latent violation panics here rather
+# than silently shipping. Explicit even though the workspace test run
+# above also covers them — this gate must survive that step ever
+# moving to --release.
+cargo test --quiet --test shard_equivalence --test compiled_replay
+
+echo "==> flat-scheduler property suite (slow-tests feature)"
+# Model-based equivalence of Cluster::select against the reference
+# heap/BTreeSet scheduler on randomized schedules; feature-gated so
+# it cannot rot unexercised.
+cargo test --quiet -p clustered-sim --features slow-tests --test cluster_select_props
+
 echo "==> bench smoke (2 samples per case)"
 # Not a performance gate — just proof that every bench target still
 # runs end to end. Two samples keep it to seconds.
@@ -69,6 +85,7 @@ if [ "$status" -ne 1 ]; then
 fi
 ./target/release/bench-cmp results/BENCH_hostprof.json results/BENCH_hostprof.json
 ./target/release/bench-cmp results/BENCH_compiled.json results/BENCH_compiled.json
+./target/release/bench-cmp results/BENCH_backend.json results/BENCH_backend.json
 
 echo "==> trace info smoke (compiled-table report)"
 # `trace info` must compile the table on demand and report its size and
