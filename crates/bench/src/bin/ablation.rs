@@ -7,16 +7,19 @@
 //! * distant-ILP threshold of the no-exploration scheme.
 
 //!
+//! `--json` additionally writes the measurements to
+//! `results/ablation.json` (enveloped, see EXPERIMENTS.md), and
 //! `--decisions DIR` dumps each run's policy decision trace to
 //! `DIR/<section>-<workload>.jsonl`.
 
 use clustered_bench::{
-    measure_instructions, run_experiment_decisions, run_experiment_with_steering,
-    warmup_instructions, write_decisions_jsonl,
+    grid_provenance, measure_instructions, run_experiment_decisions,
+    run_experiment_with_steering, warmup_instructions, write_decisions_jsonl,
+    write_results_envelope,
 };
 use clustered_core::{IntervalDistantIlp, IntervalDistantIlpConfig, IntervalExplore, IntervalExploreConfig};
 use clustered_sim::{FixedPolicy, SimConfig, SteeringKind};
-use clustered_stats::{geometric_mean, Table};
+use clustered_stats::{geometric_mean, Json, Provenance, Table};
 use std::path::{Path, PathBuf};
 
 /// One suite pass: runs every workload under the given configuration
@@ -37,7 +40,8 @@ fn suite_geomean(
             Some((dir, label)) => {
                 let run = run_experiment_decisions(w, cfg, make(), steering, warmup, measure);
                 let stem = format!("{label}-{}", w.name());
-                if let Err(e) = write_decisions_jsonl(dir, &stem, &run.decisions) {
+                let prov = Provenance::new(w.name(), None, cfg.digest(), label);
+                if let Err(e) = write_decisions_jsonl(dir, &stem, Some(&prov), &run.decisions) {
                     eprintln!("cannot write decision trace for {stem}: {e}");
                     std::process::exit(1);
                 }
@@ -60,14 +64,19 @@ fn decisions_dir() -> Option<PathBuf> {
 }
 
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let warmup = warmup_instructions();
     let measure = measure_instructions();
     let decisions = decisions_dir();
     let max_interval = (measure / 4).max(40_000);
     let cfg = SimConfig::default();
+    let started = std::time::Instant::now();
+    // Per-section `[{name, geomean_ipc}]` rows for the `--json` dump.
+    let mut sections = Json::object();
     println!("Ablations ({measure} measured instructions per run)\n");
 
     println!("A. Steering heuristic (fixed 16 clusters):");
+    let mut rows: Vec<Json> = Vec::new();
     let mut t = Table::new(&["steering", "suite geomean IPC"]);
     for (name, kind) in [
         ("producer (thresh 4)", SteeringKind::Producer { imbalance_threshold: 4 }),
@@ -85,8 +94,10 @@ fn main() {
             measure,
             dump.as_ref().map(|(d, l)| (*d, l.as_str())),
         );
+        rows.push(Json::object().set("name", name).set("geomean_ipc", g));
         t.row(&[name.to_string(), format!("{g:.3}")]);
     }
+    sections = sections.set("steering", Json::Arr(std::mem::take(&mut rows)));
     println!("{t}");
 
     println!("B. Criticality predictor (fixed 16 clusters):");
@@ -103,8 +114,10 @@ fn main() {
             measure,
             dump.as_ref().map(|(d, l)| (*d, l.as_str())),
         );
+        rows.push(Json::object().set("name", name).set("geomean_ipc", g));
         t.row(&[name.to_string(), format!("{g:.3}")]);
     }
+    sections = sections.set("criticality", Json::Arr(std::mem::take(&mut rows)));
     println!("{t}");
 
     println!("C. Exploration configuration set (interval scheme):");
@@ -130,8 +143,10 @@ fn main() {
             measure,
             dump.as_ref().map(|(d, l)| (*d, l.as_str())),
         );
+        rows.push(Json::object().set("name", name).set("geomean_ipc", g));
         t.row(&[name.to_string(), format!("{g:.3}")]);
     }
+    sections = sections.set("explore_configs", Json::Arr(std::mem::take(&mut rows)));
     println!("{t}");
 
     println!("D. Distant-ILP threshold (no-exploration scheme, 1K interval):");
@@ -151,8 +166,10 @@ fn main() {
             measure,
             dump.as_ref().map(|(d, l)| (*d, l.as_str())),
         );
+        rows.push(Json::object().set("name", threshold.to_string().as_str()).set("geomean_ipc", g));
         t.row(&[threshold.to_string(), format!("{g:.3}")]);
     }
+    sections = sections.set("distant_threshold", Json::Arr(std::mem::take(&mut rows)));
     println!("{t}");
     if let Some(dir) = &decisions {
         println!("decision traces in {}\n", dir.display());
@@ -160,4 +177,21 @@ fn main() {
     println!("The paper's choices — producer steering with a moderate imbalance");
     println!("threshold, the full 2/4/8/16 exploration set, and the 160/1000");
     println!("distant-ILP threshold — should be at or near the top of each table.");
+
+    if json {
+        let doc = Json::object()
+            .set("figure", "ablation")
+            .set("measure_instructions", measure)
+            .set("warmup_instructions", warmup)
+            .set("sections", sections);
+        let prov =
+            grid_provenance("ablation", &cfg).with_wall_seconds(started.elapsed().as_secs_f64());
+        match write_results_envelope("ablation", &prov, doc) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write results/ablation.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

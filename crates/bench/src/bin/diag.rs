@@ -68,7 +68,14 @@ fn main() {
             s.distant_issues as f64 / s.committed as f64
         );
         if let Some(dir) = &decisions {
-            match write_decisions_jsonl(dir, &format!("{name}-{label}"), &run.decisions) {
+            let prov = clustered_stats::Provenance::new(
+                w.name(),
+                None,
+                cfg.digest(),
+                &format!("fixed{n}"),
+            );
+            match write_decisions_jsonl(dir, &format!("{name}-{label}"), Some(&prov), &run.decisions)
+            {
                 Ok(path) => {
                     println!("   decisions {} ({} records)", path.display(), run.decisions.len());
                 }

@@ -7,18 +7,25 @@
 //! and reports mean disabled clusters plus leakage/total energy versus
 //! the fixed 16-cluster base, under the normalised energy model in
 //! `clustered_sim::estimate_energy`.
+//!
+//! `--json` additionally writes the measurements to
+//! `results/energy.json` (enveloped, see EXPERIMENTS.md).
 
 use clustered_bench::sweep::{capture_for, run_sweep, SweepPoint};
-use clustered_bench::{measure_instructions, warmup_instructions};
+use clustered_bench::{
+    grid_provenance, measure_instructions, warmup_instructions, write_results_envelope,
+};
 use clustered_core::{IntervalExplore, IntervalExploreConfig};
 use clustered_sim::{estimate_energy, EnergyParams, FixedPolicy, SimConfig};
-use clustered_stats::Table;
+use clustered_stats::{Json, Table};
 
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let warmup = warmup_instructions();
     let measure = measure_instructions();
     let max_interval = (measure / 4).max(40_000);
     let params = EnergyParams::default();
+    let started = std::time::Instant::now();
     println!("Energy impact of dynamic cluster allocation");
     println!("({measure} measured instructions; power-gated disabled clusters)\n");
 
@@ -57,29 +64,54 @@ fn main() {
         ));
     }
     let stats = run_sweep(&points);
+    let mut workload_docs: Vec<Json> = Vec::new();
     for (w, pair) in workloads.iter().zip(stats.chunks(2)) {
         let (fixed, dynamic) = (pair[0], pair[1]);
         let e_fixed = estimate_energy(&fixed, &params);
         let e_dynamic = estimate_energy(&dynamic, &params);
         let disabled = 16.0 - dynamic.avg_active_clusters();
         disabled_sum += disabled;
+        let leakage_ratio = (e_dynamic.active_leakage + e_dynamic.idle_leakage)
+            / (e_fixed.active_leakage + e_fixed.idle_leakage).max(1e-9);
+        let total_ratio = e_dynamic.total() / e_fixed.total().max(1e-9);
+        let ipc_ratio = dynamic.ipc() / fixed.ipc().max(1e-9);
         table.row(&[
             w.name().to_string(),
             format!("{disabled:.1}"),
-            format!(
-                "{:.0}%",
-                100.0 * (e_dynamic.active_leakage + e_dynamic.idle_leakage)
-                    / (e_fixed.active_leakage + e_fixed.idle_leakage).max(1e-9)
-            ),
-            format!("{:.0}%", 100.0 * e_dynamic.total() / e_fixed.total().max(1e-9)),
-            format!("{:.0}%", 100.0 * dynamic.ipc() / fixed.ipc().max(1e-9)),
+            format!("{:.0}%", 100.0 * leakage_ratio),
+            format!("{:.0}%", 100.0 * total_ratio),
+            format!("{:.0}%", 100.0 * ipc_ratio),
         ]);
+        workload_docs.push(
+            Json::object()
+                .set("name", w.name())
+                .set("avg_disabled_clusters", disabled)
+                .set("leakage_vs_fixed16", leakage_ratio)
+                .set("total_energy_vs_fixed16", total_ratio)
+                .set("ipc_vs_fixed16", ipc_ratio),
+        );
     }
+    let mean_disabled = disabled_sum / clustered_workloads::NAMES.len() as f64;
     println!("{table}");
-    println!(
-        "mean disabled clusters: {:.1} of 16  (paper: 8.3)",
-        disabled_sum / clustered_workloads::NAMES.len() as f64
-    );
+    println!("mean disabled clusters: {mean_disabled:.1} of 16  (paper: 8.3)");
     println!("\nDisabled clusters can instead host other threads: the same allocation");
     println!("that optimises one thread frees, on average, half the machine.");
+
+    if json {
+        let doc = Json::object()
+            .set("figure", "energy")
+            .set("measure_instructions", measure)
+            .set("warmup_instructions", warmup)
+            .set("workloads", Json::Arr(workload_docs))
+            .set("mean_disabled_clusters", mean_disabled);
+        let prov = grid_provenance("energy", &SimConfig::default())
+            .with_wall_seconds(started.elapsed().as_secs_f64());
+        match write_results_envelope("energy", &prov, doc) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write results/energy.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

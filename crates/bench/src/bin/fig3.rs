@@ -9,10 +9,11 @@
 
 use clustered_bench::sweep::{capture_for, jobs, run_sweep, run_point_decisions, run_sweep_with, SweepPoint};
 use clustered_bench::{
-    measure_instructions, warmup_instructions, write_decisions_jsonl, write_results_json,
+    grid_provenance, measure_instructions, warmup_instructions, write_decisions_jsonl,
+    write_results_envelope,
 };
 use clustered_sim::{FixedPolicy, SimConfig, SimStats};
-use clustered_stats::{geometric_mean, Json, Table};
+use clustered_stats::{geometric_mean, Json, Provenance, Table};
 use std::path::PathBuf;
 
 /// Scans the raw argument list for `--decisions DIR` and returns the
@@ -62,11 +63,25 @@ fn main() {
             ));
         }
     }
+    let started = std::time::Instant::now();
     let stats: Vec<SimStats> = match &decisions {
         Some(dir) => {
             let runs = run_sweep_with(&points, jobs(), run_point_decisions);
             for (point, run) in points.iter().zip(&runs) {
-                if let Err(e) = write_decisions_jsonl(dir, &point.label, &run.decisions) {
+                // The label's `/suffix` names the fixed cluster count.
+                let policy = match point.label.rsplit('/').next() {
+                    Some("mono") => "fixed1".to_string(),
+                    Some(n) => format!("fixed{n}"),
+                    None => "fixed".to_string(),
+                };
+                let prov = Provenance::new(
+                    point.trace.name(),
+                    Some(point.trace_checksum),
+                    point.config_digest,
+                    &policy,
+                );
+                if let Err(e) = write_decisions_jsonl(dir, &point.label, Some(&prov), &run.decisions)
+                {
                     eprintln!("cannot write decision trace for {}: {e}", point.label);
                     std::process::exit(1);
                 }
@@ -128,7 +143,9 @@ fn main() {
             )
             .set("workloads", Json::Arr(workload_docs))
             .set("geomean_by_clusters", geomeans);
-        match write_results_json("fig3", &doc) {
+        let prov = grid_provenance("fig3", &SimConfig::default())
+            .with_wall_seconds(started.elapsed().as_secs_f64());
+        match write_results_envelope("fig3", &prov, doc) {
             Ok(path) => println!("\nwrote {}", path.display()),
             Err(e) => {
                 eprintln!("cannot write results/fig3.json: {e}");

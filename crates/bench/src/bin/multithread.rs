@@ -12,10 +12,16 @@
 //! demonstrated (throughput from avoiding cross-thread interference
 //! and from diminishing returns of width) dominates it.
 
+//!
+//! `--json` additionally writes the measurements to
+//! `results/multithread.json` (enveloped, see EXPERIMENTS.md).
+
 use clustered_bench::sweep::{capture_for, run_sweep, SweepPoint};
-use clustered_bench::{measure_instructions, warmup_instructions};
+use clustered_bench::{
+    grid_provenance, measure_instructions, warmup_instructions, write_results_envelope,
+};
 use clustered_sim::{FixedPolicy, SimConfig};
-use clustered_stats::Table;
+use clustered_stats::{Json, Table};
 
 fn partitioned_config(clusters: usize) -> SimConfig {
     let mut cfg = SimConfig::default();
@@ -25,8 +31,10 @@ fn partitioned_config(clusters: usize) -> SimConfig {
 }
 
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let warmup = warmup_instructions();
     let measure = measure_instructions() / 2; // two runs per pairing
+    let started = std::time::Instant::now();
     println!("Cluster partitioning for two-thread throughput");
     println!("({measure} measured instructions per thread)\n");
 
@@ -71,6 +79,7 @@ fn main() {
     }
     let ipcs: Vec<f64> = run_sweep(&points).iter().map(|s| s.ipc()).collect();
 
+    let mut pairing_docs: Vec<Json> = Vec::new();
     for ((a, b), run) in pairings.iter().zip(ipcs.chunks(8)) {
         // Time multiplexing: each thread gets the whole machine for
         // half the time → throughput is the mean of the solo IPCs.
@@ -88,10 +97,35 @@ fn main() {
             format!("{skewed:.2}"),
             format!("{:+.0}%", 100.0 * (best / timemux - 1.0)),
         ]);
+        pairing_docs.push(
+            Json::object()
+                .set("threads", Json::Arr(vec![Json::from(*a), Json::from(*b)]))
+                .set("timemux_ipc_sum", timemux)
+                .set("split_8_8_ipc_sum", even)
+                .set("split_12_4_ipc_sum", skewed)
+                .set("best_split_gain", best / timemux - 1.0),
+        );
     }
     println!("{table}");
     println!("Paper claim (qualitative): after optimising one thread, more than");
     println!("eight clusters remain for others, and dedicating cluster subsets to");
     println!("threads avoids cross-thread interference — partitioned throughput");
     println!("beats time-multiplexing the monolithic-width machine.");
+
+    if json {
+        let doc = Json::object()
+            .set("figure", "multithread")
+            .set("measure_instructions", measure)
+            .set("warmup_instructions", warmup)
+            .set("pairings", Json::Arr(pairing_docs));
+        let prov = grid_provenance("multithread", &SimConfig::default())
+            .with_wall_seconds(started.elapsed().as_secs_f64());
+        match write_results_envelope("multithread", &prov, doc) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write results/multithread.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -9,10 +9,17 @@
 //! respectively — fewer per-cluster resources favour the wide static
 //! base, more resources and slower wires favour the dynamic scheme.
 
-use clustered_bench::{measure_instructions, run_experiment, warmup_instructions};
+//!
+//! `--json` additionally writes the measurements to
+//! `results/sensitivity.json` (enveloped, see EXPERIMENTS.md).
+
+use clustered_bench::{
+    grid_provenance, measure_instructions, run_experiment, warmup_instructions,
+    write_results_envelope,
+};
 use clustered_core::{IntervalExplore, IntervalExploreConfig};
 use clustered_sim::{FixedPolicy, SimConfig};
-use clustered_stats::{geometric_mean, percent_change, Table};
+use clustered_stats::{geometric_mean, percent_change, Json, Table};
 
 fn variant(name: &str) -> SimConfig {
     let mut cfg = SimConfig::default();
@@ -43,9 +50,11 @@ fn variant(name: &str) -> SimConfig {
 }
 
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let warmup = warmup_instructions();
     let measure = measure_instructions();
     let max_interval = (measure / 4).max(40_000);
+    let started = std::time::Instant::now();
     println!("Section 6: sensitivity of the dynamic scheme to processor parameters");
     println!("({measure} measured instructions per run)\n");
 
@@ -54,6 +63,7 @@ fn main() {
     let paper_gain =
         [("baseline", "+11%"), ("small-clusters", "+8%"), ("large-clusters", "+13%"),
          ("more-fus", "~+11%"), ("slow-wires", "+23%")];
+    let mut variant_docs: Vec<Json> = Vec::new();
     for (name, paper) in paper_gain {
         let cfg = variant(name);
         let mut series = [Vec::new(), Vec::new(), Vec::new()];
@@ -89,9 +99,35 @@ fn main() {
             format!("{gain:+.1}%"),
             paper.to_string(),
         ]);
+        variant_docs.push(
+            Json::object()
+                .set("name", name)
+                .set("fixed4_geomean_ipc", g[0])
+                .set("fixed16_geomean_ipc", g[1])
+                .set("explore_geomean_ipc", g[2])
+                .set("gain_pct", gain)
+                .set("paper_gain", paper),
+        );
     }
     println!("{table}");
     println!("Paper shape: with fewer per-cluster resources the wide base improves");
     println!("(smaller dynamic gain); with larger clusters or costlier hops the");
     println!("narrow configurations win more often and the dynamic gain grows.");
+
+    if json {
+        let doc = Json::object()
+            .set("figure", "sensitivity")
+            .set("measure_instructions", measure)
+            .set("warmup_instructions", warmup)
+            .set("variants", Json::Arr(variant_docs));
+        let prov = grid_provenance("sensitivity", &SimConfig::default())
+            .with_wall_seconds(started.elapsed().as_secs_f64());
+        match write_results_envelope("sensitivity", &prov, doc) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write results/sensitivity.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

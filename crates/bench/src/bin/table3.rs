@@ -3,15 +3,22 @@
 //! resources, free bypassing) and the branch-misprediction interval,
 //! side by side with the values the paper reports for the original
 //! SPEC2k/Mediabench programs.
+//!
+//! `--json` additionally writes the measurements to
+//! `results/table3.json` (enveloped, see EXPERIMENTS.md).
 
 use clustered_bench::sweep::{capture_for, run_sweep, SweepPoint};
-use clustered_bench::{measure_instructions, warmup_instructions};
+use clustered_bench::{
+    grid_provenance, measure_instructions, warmup_instructions, write_results_envelope,
+};
 use clustered_sim::{FixedPolicy, SimConfig};
-use clustered_stats::Table;
+use clustered_stats::{Json, Table};
 
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let warmup = warmup_instructions();
     let measure = measure_instructions();
+    let started = std::time::Instant::now();
     println!("Table 3: benchmark description ({measure} measured instructions)\n");
     let mut table = Table::new(&[
         "benchmark",
@@ -39,6 +46,7 @@ fn main() {
         })
         .collect();
     let stats = run_sweep(&points);
+    let mut workload_docs: Vec<Json> = Vec::new();
     for (w, s) in workloads.iter().zip(stats) {
         let paper = w.paper();
         table.row(&[
@@ -51,9 +59,37 @@ fn main() {
             format!("{:.1}", 100.0 * s.memrefs as f64 / s.committed as f64),
             format!("{:.1}", 100.0 * s.branches as f64 / s.committed as f64),
         ]);
+        workload_docs.push(
+            Json::object()
+                .set("name", w.name())
+                .set("suite", paper.class.suite_name())
+                .set("ipc", s.ipc())
+                .set("paper_ipc", paper.base_ipc)
+                .set("mispredict_interval", s.mispredict_interval())
+                .set("paper_mispredict_interval", u64::from(paper.mispredict_interval))
+                .set("memref_pct", 100.0 * s.memrefs as f64 / s.committed as f64)
+                .set("branch_pct", 100.0 * s.branches as f64 / s.committed as f64),
+        );
     }
     println!("{table}");
     println!("The kernels are engineered to reproduce each benchmark's metric profile");
     println!("(branch-misprediction interval ordering, memory intensity, distant ILP),");
     println!("not its absolute IPC; see DESIGN.md for the substitution rationale.");
+
+    if json {
+        let doc = Json::object()
+            .set("figure", "table3")
+            .set("measure_instructions", measure)
+            .set("warmup_instructions", warmup)
+            .set("workloads", Json::Arr(workload_docs));
+        let prov = grid_provenance("table3", &SimConfig::monolithic())
+            .with_wall_seconds(started.elapsed().as_secs_f64());
+        match write_results_envelope("table3", &prov, doc) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write results/table3.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

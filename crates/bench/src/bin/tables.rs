@@ -7,7 +7,7 @@
 //! `--json` additionally writes the raw parameter values to
 //! `results/tables.json` (see EXPERIMENTS.md for the schema).
 
-use clustered_bench::write_results_json;
+use clustered_bench::{grid_provenance, write_results_envelope};
 use clustered_sim::{CacheParams, SimConfig};
 use clustered_stats::{Json, Table};
 
@@ -163,7 +163,8 @@ fn main() {
                             .set("lsq_slots", cache.lsq_per_cluster),
                     ),
             );
-        match write_results_json("tables", &doc) {
+        let prov = grid_provenance("tables", &cfg);
+        match write_results_envelope("tables", &prov, doc) {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("cannot write results/tables.json: {e}");

@@ -9,7 +9,7 @@
 //! benchmarked case past the threshold fails the build instead of
 //! silently eroding the PR-5 sharding wins.
 
-use clustered_stats::{json, Json};
+use clustered_stats::{json, Json, Provenance};
 
 /// Default relative slowdown tolerated before a case counts as a
 /// regression: generous because CI boxes are noisy and smoke runs use
@@ -88,6 +88,12 @@ pub struct Comparison {
     pub missing: Vec<String>,
     /// Current cases absent from the baseline (informational only).
     pub added: Vec<String>,
+    /// The baseline document's `provenance` block, when it carries
+    /// one (harness documents written before the provenance layer do
+    /// not — the comparison still works, the report just omits it).
+    pub baseline_provenance: Option<Provenance>,
+    /// The current document's `provenance` block, when present.
+    pub current_provenance: Option<Provenance>,
 }
 
 impl Comparison {
@@ -146,12 +152,18 @@ impl Comparison {
             .collect();
         let missing: Vec<Json> = self.missing.iter().map(|n| Json::from(n.as_str())).collect();
         let added: Vec<Json> = self.added.iter().map(|n| Json::from(n.as_str())).collect();
+        let prov = |p: &Option<Provenance>| match p {
+            Some(p) => p.to_json(),
+            None => Json::Null,
+        };
         Json::object()
             .set("metric", self.metric.key())
             .set("threshold", self.threshold)
             .set("cases", Json::Arr(rows))
             .set("missing", Json::Arr(missing))
             .set("added", Json::Arr(added))
+            .set("baseline_provenance", prov(&self.baseline_provenance))
+            .set("current_provenance", prov(&self.current_provenance))
             .set("passed", self.passed())
     }
 }
@@ -207,7 +219,16 @@ pub fn compare_docs(
         .filter(|(n, _)| !base.iter().any(|(b, _)| b == n))
         .map(|(n, _)| n.clone())
         .collect();
-    Ok(Comparison { threshold, metric, rows, missing, added })
+    let provenance_of = |doc: &Json| doc.get("provenance").and_then(Provenance::from_json);
+    Ok(Comparison {
+        threshold,
+        metric,
+        rows,
+        missing,
+        added,
+        baseline_provenance: provenance_of(baseline),
+        current_provenance: provenance_of(current),
+    })
 }
 
 /// Reads and compares two harness JSON files.
@@ -320,6 +341,23 @@ mod tests {
         assert!(err.contains("baseline"), "error names the offending side: {err}");
         let err = compare_docs(&doc(&[]), &Json::object(), CmpMetric::Min, 0.1).unwrap_err();
         assert!(err.contains("current"), "error names the offending side: {err}");
+    }
+
+    #[test]
+    fn provenance_blocks_are_carried_into_the_report() {
+        let p = Provenance::new("bench", None, 5, "harness");
+        let base = doc(&[("a", 100)]).set("provenance", p.to_json());
+        let cur = doc(&[("a", 100)]);
+        let c = compare_docs(&base, &cur, CmpMetric::Min, 0.25).unwrap();
+        assert_eq!(c.baseline_provenance, Some(p));
+        assert_eq!(c.current_provenance, None, "a pre-provenance document still compares");
+        let j = c.to_json();
+        assert!(
+            Provenance::from_json(j.get("baseline_provenance").unwrap()).is_some(),
+            "the JSON report embeds the available side's provenance"
+        );
+        assert_eq!(j.get("current_provenance"), Some(&Json::Null));
+        assert!(c.passed());
     }
 
     #[test]

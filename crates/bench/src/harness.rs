@@ -105,7 +105,11 @@ impl Harness {
         &self.results
     }
 
-    /// The whole suite as a JSON document.
+    /// The whole suite as a JSON document. Alongside the `cases`
+    /// array the document carries a `provenance` block (no trace or
+    /// config — the suite times host code, so only the code version
+    /// and host fingerprint identify a run); `bench-cmp` surfaces it
+    /// when comparing two documents.
     pub fn to_json(&self) -> Json {
         let cases: Vec<Json> = self
             .results
@@ -119,7 +123,11 @@ impl Harness {
                     .set("samples", r.sorted.len())
             })
             .collect();
-        Json::object().set("suite", self.name.as_str()).set("cases", Json::Arr(cases))
+        let prov = clustered_stats::Provenance::new(self.name.as_str(), None, 0, "bench-harness");
+        Json::object()
+            .set("suite", self.name.as_str())
+            .set("provenance", prov.to_json())
+            .set("cases", Json::Arr(cases))
     }
 
     /// Writes the JSON document if `CLUSTERED_BENCH_JSON` is set
@@ -154,6 +162,8 @@ mod tests {
         let j = h.to_json();
         assert_eq!(j.get("suite").and_then(Json::as_str), Some("t"));
         assert_eq!(j.get("cases").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        let prov = j.get("provenance").expect("harness documents carry provenance");
+        assert!(clustered_stats::Provenance::from_json(prov).is_some());
     }
 
     /// Summaries are total: an empty case reports zeros instead of

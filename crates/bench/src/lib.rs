@@ -17,7 +17,7 @@ use clustered_emu::TraceSource;
 use clustered_sim::{
     DecisionRecord, DecisionTrace, Processor, ReconfigPolicy, SimConfig, SimStats, SteeringKind,
 };
-use clustered_stats::Json;
+use clustered_stats::{Json, Provenance};
 use clustered_workloads::Workload;
 use std::path::{Path, PathBuf};
 
@@ -55,6 +55,32 @@ pub fn write_results_json(name: &str, doc: &Json) -> std::io::Result<PathBuf> {
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, doc.to_string_pretty())?;
     Ok(path)
+}
+
+/// Provenance for a multi-trace grid artifact (a whole figure or
+/// table): named after the experiment, no single trace checksum,
+/// the digest of the *base* configuration the grid varies from, and
+/// the `grid` policy id. Single-trace single-policy artifacts should
+/// build a precise [`Provenance`] instead.
+pub fn grid_provenance(experiment: &str, base_cfg: &SimConfig) -> Provenance {
+    Provenance::new(experiment, None, base_cfg.digest(), "grid")
+}
+
+/// Wraps `data` in the `{schema_version, provenance, data}` envelope
+/// ([`clustered_stats::envelope`]) and writes it to
+/// `results/<name>.json` via [`write_results_json`]. Every experiment
+/// binary's `--json` mode funnels through here so each artifact
+/// carries its provenance.
+///
+/// # Errors
+///
+/// As for [`write_results_json`].
+pub fn write_results_envelope(
+    name: &str,
+    provenance: &Provenance,
+    data: Json,
+) -> std::io::Result<PathBuf> {
+    write_results_json(name, &clustered_stats::envelope(provenance, data))
 }
 
 /// Runs `workload` under `cfg` and `policy`, discarding a warm-up and
@@ -191,8 +217,12 @@ pub fn sanitize_label(label: &str) -> String {
 }
 
 /// Writes one run's decision trace to `<dir>/<sanitized label>.jsonl`
-/// (creating the directory) and returns the path. The line schema is
-/// [`DecisionRecord::to_json`], documented in EXPERIMENTS.md.
+/// (creating the directory) and returns the path. When `provenance`
+/// is given, the stream opens with one discriminated header line
+/// (`{"event": "provenance", "provenance": {...}}`) so consumers can
+/// tie the decisions back to the run that made them; the remaining
+/// line schema is [`DecisionRecord::to_json`], documented in
+/// EXPERIMENTS.md.
 ///
 /// # Errors
 ///
@@ -201,12 +231,29 @@ pub fn sanitize_label(label: &str) -> String {
 pub fn write_decisions_jsonl(
     dir: &Path,
     label: &str,
+    provenance: Option<&Provenance>,
     decisions: &[DecisionRecord],
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.jsonl", sanitize_label(label)));
-    std::fs::write(&path, clustered_core::decisions_jsonl(decisions))?;
+    let mut text = String::new();
+    if let Some(p) = provenance {
+        text.push_str(&decisions_provenance_header(p));
+        text.push('\n');
+    }
+    text.push_str(&clustered_core::decisions_jsonl(decisions));
+    std::fs::write(&path, text)?;
     Ok(path)
+}
+
+/// The decision stream's provenance header as one compact JSON line
+/// (without the trailing newline): discriminated from decision records
+/// by its `event` key.
+pub fn decisions_provenance_header(provenance: &Provenance) -> String {
+    Json::object()
+        .set("event", "provenance")
+        .set("provenance", provenance.to_json())
+        .to_string_compact()
 }
 
 #[cfg(test)]

@@ -91,6 +91,15 @@ pub struct SweepPoint {
     pub warmup: u64,
     /// Measured instructions.
     pub measure: u64,
+    /// FNV-1a checksum of the captured dynamic stream
+    /// ([`CapturedTrace::checksum`]), stamped into heartbeat records
+    /// so a stream consumer can tie each point back to the exact
+    /// trace it replayed.
+    pub trace_checksum: u64,
+    /// Digest of the timing configuration
+    /// ([`SimConfig::digest`](clustered_sim::SimConfig::digest)),
+    /// likewise stamped into heartbeats.
+    pub config_digest: u64,
 }
 
 impl SweepPoint {
@@ -112,6 +121,8 @@ impl SweepPoint {
             policy: Box::new(policy),
             warmup,
             measure,
+            trace_checksum: trace.checksum(),
+            config_digest: cfg.digest(),
         }
     }
 
@@ -283,6 +294,8 @@ fn heartbeat_json(
     point_s: f64,
     elapsed_s: f64,
     sim_cycles: Option<u64>,
+    trace_checksum: u64,
+    config_digest: u64,
 ) -> clustered_stats::Json {
     use clustered_stats::Json;
     let eta = eta_seconds(elapsed_s, done, total);
@@ -301,6 +314,8 @@ fn heartbeat_json(
         .set("eta_s", eta.map_or(Json::Null, Json::from))
         .set("sim_cycles", sim_cycles.map_or(Json::Null, Json::from))
         .set("sim_cycles_per_s", per_s.map_or(Json::Null, Json::from))
+        .set("trace_checksum", trace_checksum)
+        .set("config_digest", config_digest)
 }
 
 /// The per-sweep progress reporter: formats stderr lines or appends
@@ -350,7 +365,14 @@ impl ProgressSink {
         }
     }
 
-    fn point(&mut self, done: usize, label: &str, worker: usize, point_s: f64, sim_cycles: Option<u64>) {
+    fn point(
+        &mut self,
+        done: usize,
+        point: &SweepPoint,
+        worker: usize,
+        point_s: f64,
+        sim_cycles: Option<u64>,
+    ) {
         let elapsed = self.started.elapsed().as_secs_f64();
         match self.mode {
             ProgressMode::Off => {}
@@ -363,11 +385,21 @@ impl ProgressSink {
                     "clustered-sweep: [{done}/{total}] {label} ({point_s:.2}s point, \
                      {elapsed:.1}s elapsed, eta {eta})",
                     total = self.total,
+                    label = point.label,
                 );
             }
             ProgressMode::Jsonl(_) => {
-                let line =
-                    heartbeat_json(label, worker, done, self.total, point_s, elapsed, sim_cycles);
+                let line = heartbeat_json(
+                    &point.label,
+                    worker,
+                    done,
+                    self.total,
+                    point_s,
+                    elapsed,
+                    sim_cycles,
+                    point.trace_checksum,
+                    point.config_digest,
+                );
                 self.emit(line);
             }
         }
@@ -457,7 +489,7 @@ where
             let started = Instant::now();
             out.push(runner(point));
             let cycles = out.last().expect("just pushed").sim_cycles();
-            sink.point(i + 1, &point.label, 0, started.elapsed().as_secs_f64(), cycles);
+            sink.point(i + 1, point, 0, started.elapsed().as_secs_f64(), cycles);
         }
         sink.finish();
         return out;
@@ -490,7 +522,7 @@ where
             let cycles = result.sim_cycles();
             out[i] = Some(result);
             filled += 1;
-            sink.point(filled, &points[i].label, w, seconds, cycles);
+            sink.point(filled, &points[i], w, seconds, cycles);
         }
     });
     sink.finish();
@@ -552,22 +584,22 @@ mod tests {
     fn heartbeat_never_records_nonfinite_rates() {
         use clustered_stats::Json;
         // First point of the sweep: no throughput yet, eta_s is null.
-        let line = heartbeat_json("gzip/4", 0, 0, 8, 0.5, 0.5, Some(40_000));
+        let line = heartbeat_json("gzip/4", 0, 0, 8, 0.5, 0.5, Some(40_000), 7, 9);
         assert_eq!(line.get("eta_s"), Some(&Json::Null));
         // Zero-duration point (timer granularity): no cycles/s rate,
         // and the zero-elapsed eta stays a number, not NaN.
-        let line = heartbeat_json("gzip/4", 0, 1, 8, 0.0, 0.0, Some(40_000));
+        let line = heartbeat_json("gzip/4", 0, 1, 8, 0.0, 0.0, Some(40_000), 7, 9);
         assert_eq!(line.get("sim_cycles_per_s"), Some(&Json::Null));
         assert_eq!(line.get("eta_s").and_then(Json::as_f64), Some(0.0));
         // Subnormal point time would overflow the rate to inf.
-        let line = heartbeat_json("gzip/4", 0, 1, 8, f64::MIN_POSITIVE, 1.0, Some(u64::MAX));
+        let line = heartbeat_json("gzip/4", 0, 1, 8, f64::MIN_POSITIVE, 1.0, Some(u64::MAX), 7, 9);
         assert_eq!(line.get("sim_cycles_per_s"), Some(&Json::Null));
     }
 
     #[test]
     fn heartbeat_record_has_the_documented_schema() {
         use clustered_stats::Json;
-        let line = heartbeat_json("gzip/4", 2, 3, 8, 0.5, 6.0, Some(40_000));
+        let line = heartbeat_json("gzip/4", 2, 3, 8, 0.5, 6.0, Some(40_000), 0xfeed, 0xbeef);
         assert_eq!(
             line.keys().unwrap(),
             vec![
@@ -580,18 +612,22 @@ mod tests {
                 "elapsed_s",
                 "eta_s",
                 "sim_cycles",
-                "sim_cycles_per_s"
+                "sim_cycles_per_s",
+                "trace_checksum",
+                "config_digest"
             ]
         );
         assert_eq!(line.get("event").and_then(Json::as_str), Some("point"));
         assert_eq!(line.get("eta_s").and_then(Json::as_f64), Some(10.0));
         assert_eq!(line.get("sim_cycles_per_s").and_then(Json::as_f64), Some(80_000.0));
+        assert_eq!(line.get("trace_checksum").and_then(Json::as_u64), Some(0xfeed));
+        assert_eq!(line.get("config_digest").and_then(Json::as_u64), Some(0xbeef));
         // Every line parses back — the stream is consumable by the
         // stats crate's own parser.
         let reparsed = clustered_stats::json::parse(&line.to_string_compact()).unwrap();
         assert_eq!(reparsed, line);
         // A runner without cycle counts degrades to nulls, not lies.
-        let bare = heartbeat_json("p", 0, 1, 1, 0.0, 0.0, None);
+        let bare = heartbeat_json("p", 0, 1, 1, 0.0, 0.0, None, 0, 0);
         assert_eq!(bare.get("sim_cycles"), Some(&Json::Null));
         assert_eq!(bare.get("sim_cycles_per_s"), Some(&Json::Null));
     }

@@ -389,6 +389,146 @@ impl SimConfig {
         Ok(())
     }
 
+    /// A stable FNV-1a 64 digest over **every** configuration field,
+    /// the config side of the provenance record: two runs compare only
+    /// if their digests match, and the result cache planned by the
+    /// ROADMAP's sweep-service item keys on it.
+    ///
+    /// Every struct is destructured exhaustively (no `..` patterns),
+    /// so adding a field without deciding how it digests is a compile
+    /// error — the same add-a-field contract as
+    /// [`SimStats::to_json`](crate::SimStats::to_json). Field values
+    /// feed the hash in declaration order as fixed-width
+    /// little-endian words, so the digest is platform-independent.
+    pub fn digest(&self) -> u64 {
+        let SimConfig { clusters, frontend, bpred, bankpred, crit, interconnect, cache, exec } =
+            self;
+        let ClusterParams {
+            count,
+            int_regs,
+            fp_regs,
+            int_iq,
+            fp_iq,
+            int_alu,
+            int_muldiv,
+            fp_alu,
+            fp_muldiv,
+        } = clusters;
+        let FrontendParams {
+            fetch_width,
+            fetch_queue,
+            max_basic_blocks,
+            dispatch_width,
+            commit_width,
+            rob_size,
+            mispredict_penalty,
+        } = frontend;
+        let BpredParams {
+            bimodal_size,
+            l1_size: bp_l1_size,
+            history_bits: bp_history_bits,
+            l2_size: bp_l2_size,
+            meta_size,
+            btb_sets,
+            btb_ways,
+            ras_depth,
+        } = bpred;
+        let BankPredParams {
+            l1_size: bank_l1_size,
+            history_bits: bank_history_bits,
+            l2_size: bank_l2_size,
+        } = bankpred;
+        let CritParams { enabled: crit_enabled, table_size: crit_table_size } = crit;
+        let InterconnectParams { topology, hop_latency } = interconnect;
+        let CacheParams {
+            model,
+            l1_size,
+            l1_banks,
+            l1_line,
+            l1_latency,
+            l1_assoc,
+            l1_bank_size,
+            l1_bank_line,
+            l1_bank_latency,
+            l2_size,
+            l2_assoc,
+            l2_line,
+            l2_latency,
+            mem_latency,
+            lsq_per_cluster,
+        } = cache;
+        let ExecLatencies { int_alu: l_int_alu, int_mul, int_div, fp_alu: l_fp_alu, fp_mul, fp_div } =
+            exec;
+        let words: &[u64] = &[
+            // A format tag so digest-scheme changes can never collide
+            // with digests of an older field order.
+            0x636c_6366_6731_0000, // "clcfg1"
+            *count as u64,
+            *int_regs as u64,
+            *fp_regs as u64,
+            *int_iq as u64,
+            *fp_iq as u64,
+            *int_alu as u64,
+            *int_muldiv as u64,
+            *fp_alu as u64,
+            *fp_muldiv as u64,
+            *fetch_width as u64,
+            *fetch_queue as u64,
+            *max_basic_blocks as u64,
+            *dispatch_width as u64,
+            *commit_width as u64,
+            *rob_size as u64,
+            *mispredict_penalty,
+            *bimodal_size as u64,
+            *bp_l1_size as u64,
+            *bp_history_bits as u64,
+            *bp_l2_size as u64,
+            *meta_size as u64,
+            *btb_sets as u64,
+            *btb_ways as u64,
+            *ras_depth as u64,
+            *bank_l1_size as u64,
+            *bank_history_bits as u64,
+            *bank_l2_size as u64,
+            u64::from(*crit_enabled),
+            *crit_table_size as u64,
+            match topology {
+                Topology::Ring => 0,
+                Topology::Grid => 1,
+            },
+            *hop_latency,
+            match model {
+                CacheModel::Centralized => 0,
+                CacheModel::Decentralized => 1,
+            },
+            *l1_size as u64,
+            *l1_banks as u64,
+            *l1_line as u64,
+            *l1_latency,
+            *l1_assoc as u64,
+            *l1_bank_size as u64,
+            *l1_bank_line as u64,
+            *l1_bank_latency,
+            *l2_size as u64,
+            *l2_assoc as u64,
+            *l2_line as u64,
+            *l2_latency,
+            *mem_latency,
+            *lsq_per_cluster as u64,
+            *l_int_alu,
+            *int_mul,
+            *int_div,
+            *l_fp_alu,
+            *fp_mul,
+            *fp_div,
+        ];
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        clustered_stats::fnv1a_64(&bytes)
+    }
+
     /// The legal "active cluster" settings a reconfiguration policy may
     /// request under this configuration: the powers of two up to the
     /// cluster count (the subset the paper found sufficient, §4.1).
@@ -486,6 +626,95 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.frontend.dispatch_width = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    /// The provenance contract: the digest is a pure function of the
+    /// configuration (same config → same digest) and *every* field
+    /// change moves it — one mutation per parameter group, including
+    /// the enum fields.
+    #[test]
+    fn digest_is_stable_and_sensitive_to_every_field_group() {
+        let base = SimConfig::default();
+        assert_eq!(base.digest(), SimConfig::default().digest(), "digest must be deterministic");
+        let mutations: Vec<(&str, SimConfig)> = vec![
+            ("clusters.count", {
+                let mut c = base;
+                c.clusters.count = 8;
+                c
+            }),
+            ("clusters.fp_muldiv", {
+                let mut c = base;
+                c.clusters.fp_muldiv = 2;
+                c
+            }),
+            ("frontend.rob_size", {
+                let mut c = base;
+                c.frontend.rob_size = 256;
+                c
+            }),
+            ("frontend.mispredict_penalty", {
+                let mut c = base;
+                c.frontend.mispredict_penalty = 13;
+                c
+            }),
+            ("bpred.history_bits", {
+                let mut c = base;
+                c.bpred.history_bits = 11;
+                c
+            }),
+            ("bankpred.l2_size", {
+                let mut c = base;
+                c.bankpred.l2_size = 8192;
+                c
+            }),
+            ("crit.enabled", {
+                let mut c = base;
+                c.crit.enabled = false;
+                c
+            }),
+            ("interconnect.topology", {
+                let mut c = base;
+                c.interconnect.topology = Topology::Grid;
+                c
+            }),
+            ("interconnect.hop_latency", {
+                let mut c = base;
+                c.interconnect.hop_latency = 2;
+                c
+            }),
+            ("cache.model", {
+                let mut c = base;
+                c.cache.model = CacheModel::Decentralized;
+                c
+            }),
+            ("cache.lsq_per_cluster", {
+                let mut c = base;
+                c.cache.lsq_per_cluster = 16;
+                c
+            }),
+            ("exec.fp_div", {
+                let mut c = base;
+                c.exec.fp_div = 13;
+                c
+            }),
+        ];
+        let mut seen = vec![("default", base.digest())];
+        for (name, cfg) in &mutations {
+            let d = cfg.digest();
+            for (other, prior) in &seen {
+                assert_ne!(
+                    d, *prior,
+                    "digest of mutation `{name}` collides with `{other}`"
+                );
+            }
+            seen.push((name, d));
+        }
+        // Fields in different groups must not be interchangeable: two
+        // configs whose *values* swap across fields digest differently.
+        let mut swap_a = base;
+        swap_a.clusters.int_iq = 30;
+        swap_a.clusters.int_regs = 15;
+        assert_ne!(base.digest(), swap_a.digest());
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod audit;
 mod bankpred;
 mod bpred;
 mod cache;
@@ -66,6 +67,9 @@ mod slots;
 mod stats;
 mod steer;
 
+pub use audit::{
+    AuditCheck, AuditInvariant, AuditObserver, AuditViolation, DEFAULT_VIOLATION_CAP,
+};
 pub use bankpred::{BankPredictor, BANK_BITS, MAX_PREDICTED_BANKS};
 pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{ArrayAccess, CacheArray, MemHierarchy};

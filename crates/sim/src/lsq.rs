@@ -48,6 +48,12 @@ impl LsqSlice {
         self.used
     }
 
+    /// Configured capacity (the auditor checks `occupancy ≤ capacity`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Allocates one slot (real entry or dummy).
     ///
     /// # Panics

@@ -72,6 +72,17 @@ pub trait SimObserver {
     /// state.
     const WANTS_HOST_PROFILE: bool = false;
 
+    /// Whether the simulator should assemble an end-of-cycle
+    /// [`AuditCheck`](crate::AuditCheck) snapshot and deliver
+    /// [`on_audit`](SimObserver::on_audit).
+    ///
+    /// The default `false` (kept by [`NullObserver`]) compiles the
+    /// whole snapshot assembly away, preserving the bit-identical
+    /// zero-cost contract. [`AuditObserver`](crate::AuditObserver)
+    /// opts in; like the host-profile hooks, auditing only *reads*
+    /// machine state and can never perturb the simulated schedule.
+    const WANTS_AUDIT: bool = false;
+
     /// End of one simulated cycle.
     #[inline(always)]
     fn on_cycle(&mut self, cycle: u64, active_clusters: usize, rob_occupancy: usize) {
@@ -156,6 +167,15 @@ pub trait SimObserver {
     #[inline(always)]
     fn on_event_drained(&mut self, shard: usize) {
         let _ = shard;
+    }
+
+    /// End-of-cycle machine-state snapshot for conservation-law
+    /// auditing.
+    ///
+    /// Only delivered when [`Self::WANTS_AUDIT`] is `true`.
+    #[inline(always)]
+    fn on_audit(&mut self, check: &crate::audit::AuditCheck<'_>) {
+        let _ = check;
     }
 }
 

@@ -241,6 +241,14 @@ pub(super) struct EventShards {
     /// Events beyond the calendar window, ordered by `(time, tick,
     /// shard)`; migrated into their shard once the window reaches them.
     overflow: BinaryHeap<Reverse<(u64, u64, u32, EventKind)>>,
+    /// Cumulative events ever pushed (calendar or overflow). With
+    /// `popped` and the live totals this is the auditor's conservation
+    /// law: `pushed == popped + pending`. Two u64 increments on paths
+    /// that already touch the same cache lines — kept unconditionally
+    /// so the invariant is checkable on any run.
+    pushed: u64,
+    /// Cumulative events ever delivered by [`EventShards::pop_due`].
+    popped: u64,
 }
 
 impl EventShards {
@@ -253,6 +261,8 @@ impl EventShards {
             next_due: u64::MAX,
             floor: 0,
             overflow: BinaryHeap::new(),
+            pushed: 0,
+            popped: 0,
         }
     }
 
@@ -286,6 +296,7 @@ impl EventShards {
     fn push(&mut self, shard: usize, time: u64, kind: EventKind) {
         debug_assert!(time >= self.floor, "event scheduled in the delivered past");
         let time = time.max(self.floor);
+        self.pushed += 1;
         self.tick += 1;
         let tick = self.tick;
         if !self.overflow.is_empty() {
@@ -337,6 +348,7 @@ impl EventShards {
                     };
                     self.heads[c] = head;
                     self.tree.update(c, head);
+                    self.popped += 1;
                     return Some((c, kind));
                 }
                 (t, ..) => {
@@ -365,6 +377,15 @@ impl EventShards {
     pub(super) fn health(&self) -> (usize, usize, u64) {
         let calendar: usize = self.shards.iter().map(|s| s.len).sum();
         (calendar, self.overflow.len(), self.floor)
+    }
+
+    /// Conservation snapshot for the auditor: `(pushed, popped,
+    /// pending)`, where `pending` counts live calendar + overflow
+    /// events. Every pushed event is either delivered or still
+    /// pending: `pushed == popped + pending` at every cycle boundary.
+    pub(super) fn conservation(&self) -> (u64, u64, u64) {
+        let pending: usize = self.shards.iter().map(|s| s.len).sum::<usize>() + self.overflow.len();
+        (self.pushed, self.popped, pending as u64)
     }
 }
 

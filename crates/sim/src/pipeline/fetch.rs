@@ -67,5 +67,6 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         }
         run.clear();
         self.fetch_run = run;
+        self.stats.fetched += fetched as u64;
     }
 }

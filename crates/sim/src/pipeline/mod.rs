@@ -565,6 +565,36 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         } else {
             self.step_cycle_plain();
         }
+        // `WANTS_AUDIT` is likewise a `const`: the default build
+        // compiles the snapshot assembly away entirely. The snapshot
+        // only *reads* machine state, so audited runs compute the
+        // bit-identical schedule.
+        if O::WANTS_AUDIT {
+            self.deliver_audit();
+        }
+    }
+
+    /// Assembles the end-of-cycle [`crate::AuditCheck`] snapshot and
+    /// hands it to the observer. Called only when `O::WANTS_AUDIT`.
+    fn deliver_audit(&mut self) {
+        let (events_pushed, events_popped, events_pending) = self.events.conservation();
+        let check = crate::audit::AuditCheck {
+            cycle: self.now,
+            stats: &self.stats,
+            rob_len: self.rob.len(),
+            rob_capacity: self.cfg.frontend.rob_size,
+            fetch_queue_len: self.fetch_queue.len(),
+            fetch_queue_capacity: self.cfg.frontend.fetch_queue,
+            iq_used: &self.iq_used,
+            iq_capacity: [self.cfg.clusters.int_iq, self.cfg.clusters.fp_iq],
+            lsq: &self.lsq,
+            active_clusters: self.active,
+            configured_clusters: self.clusters.len(),
+            events_pushed,
+            events_popped,
+            events_pending,
+        };
+        self.observer.on_audit(&check);
     }
 
     fn step_cycle_plain(&mut self) {

@@ -16,6 +16,11 @@ pub struct SimStats {
     pub committed: u64,
     /// Instructions dispatched.
     pub dispatched: u64,
+    /// Instructions fetched into the fetch queue (counts squashed
+    /// wrong-path-free trace instructions once; re-fetches after a
+    /// squash count again). Monotone above `dispatched`, which is
+    /// monotone above `committed` — the auditor's first invariant.
+    pub fetched: u64,
     /// Committed conditional branches.
     pub cond_branches: u64,
     /// All committed control transfers.
@@ -172,6 +177,14 @@ impl SimStats {
         d.cycles -= earlier.cycles;
         d.committed -= earlier.committed;
         d.dispatched -= earlier.dispatched;
+        // Like the quiescence counters below, `fetched` postdates the
+        // other fields: saturate (with a debug assert) instead of
+        // wrapping on snapshots from older tooling.
+        debug_assert!(
+            self.fetched >= earlier.fetched,
+            "snapshots out of order: fetched went backwards"
+        );
+        d.fetched = self.fetched.saturating_sub(earlier.fetched);
         d.cond_branches -= earlier.cond_branches;
         d.branches -= earlier.branches;
         d.mispredicts -= earlier.mispredicts;
@@ -234,6 +247,7 @@ impl SimStats {
             cycles,
             committed,
             dispatched,
+            fetched,
             cond_branches,
             branches,
             mispredicts,
@@ -269,6 +283,7 @@ impl SimStats {
             .set("cycles", cycles)
             .set("committed", committed)
             .set("dispatched", dispatched)
+            .set("fetched", fetched)
             .set("ipc", self.ipc())
             .set("cond_branches", cond_branches)
             .set("branches", branches)
@@ -349,6 +364,7 @@ mod tests {
             cycles: m,
             committed: 2 * m,
             dispatched: 3 * m,
+            fetched: 30 * m,
             cond_branches: 4 * m,
             branches: 5 * m,
             mispredicts: 6 * m,
@@ -465,6 +481,7 @@ mod tests {
         let j = s.to_json();
         assert_eq!(j.get("cycles").and_then(Json::as_f64), Some(1.0));
         assert_eq!(j.get("committed").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("fetched").and_then(Json::as_f64), Some(30.0));
         assert_eq!(j.get("ipc").and_then(Json::as_f64), Some(2.0));
         assert_eq!(j.get("mispredict_rate").and_then(Json::as_f64), Some(6.0 / 5.0));
         assert_eq!(j.get("l2_miss_rate").and_then(Json::as_f64), Some(12.0 / 11.0));

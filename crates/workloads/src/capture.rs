@@ -313,6 +313,32 @@ impl CapturedTrace {
         self.records.len() * std::mem::size_of::<PackedInst>()
     }
 
+    /// FNV-1a 64-bit checksum over the captured record stream — the
+    /// trace identity stamped into run provenance, so two artifacts can
+    /// be compared knowing they simulated the same dynamic instructions.
+    /// Covers exactly the record fields (`addr`, `pc`, `next_pc`,
+    /// `flags`) in sequence order, serialized little-endian exactly as
+    /// the `.ctrace` record section — the same bytes for the same
+    /// capture regardless of host. Unlike the `.ctrace` whole-file
+    /// checksum it excludes the header and program text, so it is
+    /// stable across renames of the same dynamic stream.
+    pub fn checksum(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for r in self.records.iter() {
+            eat(&r.addr.to_le_bytes());
+            eat(&r.pc.to_le_bytes());
+            eat(&r.next_pc.to_le_bytes());
+            eat(&r.flags.to_le_bytes());
+        }
+        hash
+    }
+
     /// A fresh iterator over the captured stream, starting at the
     /// first record. Cheap: clones two `Arc`s.
     pub fn replay(&self) -> TraceReplay {
@@ -396,6 +422,21 @@ mod tests {
             instability_at_10k: 0.0,
             distant_ilp: false,
         }
+    }
+
+    /// The checksum is a function of the dynamic stream alone: stable
+    /// across re-captures, distinct across workloads and window sizes.
+    #[test]
+    fn checksum_identifies_the_dynamic_stream() {
+        let w = by_name("gzip").unwrap();
+        let a = CapturedTrace::capture(&w, 2_000);
+        let b = CapturedTrace::capture(&w, 2_000);
+        assert_eq!(a.checksum(), b.checksum(), "same capture, same checksum");
+        let shorter = CapturedTrace::capture(&w, 1_999);
+        assert_ne!(a.checksum(), shorter.checksum(), "window size changes the stream");
+        let other = CapturedTrace::capture(&by_name("swim").unwrap(), 2_000);
+        assert_ne!(a.checksum(), other.checksum(), "different workload, different stream");
+        assert_eq!(CapturedTrace::capture(&w, 0).checksum(), 0xcbf2_9ce4_8422_2325);
     }
 
     /// The core guarantee: replayed records equal live emulation

@@ -22,12 +22,17 @@ use clustered::policies::{
     IntervalDistantIlp, IntervalExplore, Recording,
 };
 use clustered::sim::{
-    estimate_energy, CacheModel, DecisionReason, DecisionRecord, DecisionTrace, EnergyParams,
-    FixedPolicy, HostProfiler, HostStage, MetricsObserver, PolicyState, Processor, ReconfigPolicy,
-    SimConfig, SteeringKind, Topology, DEFAULT_EVENT_CAP, DEFAULT_SAMPLE_INTERVAL,
+    estimate_energy, AuditObserver, CacheModel, DecisionReason, DecisionRecord, DecisionTrace,
+    EnergyParams, FixedPolicy, HostProfiler, HostStage, MetricsObserver, PolicyState, Processor,
+    ReconfigPolicy, SimConfig, SimStats, SteeringKind, Topology, DEFAULT_EVENT_CAP,
+    DEFAULT_SAMPLE_INTERVAL,
 };
-use clustered::stats::Json;
+use clustered::stats::{
+    append_entry, diff_docs, envelope, read_ledger, Json, LedgerEntry, LedgerReport, Provenance,
+    DEFAULT_DIFF_THRESHOLD, DEFAULT_LEDGER_PATH,
+};
 use clustered::{emu, isa, workloads};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -40,6 +45,8 @@ fn main() -> ExitCode {
             _ => cmd_trace(&args[1..]),
         },
         Some("explain") => cmd_explain(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
@@ -87,6 +94,13 @@ USAGE:
                 [--decentralized] [--grid] [--monolithic] [--energy]
                 [--csv FILE]      write a per-interval timeline CSV
                 [--json]          print statistics as a JSON document
+                                  ({schema_version, provenance, data})
+                [--audit [strict]] check conservation laws every audit
+                                  interval; `strict` exits non-zero on
+                                  any violation
+                [--ledger [FILE]] append this run's provenance and
+                                  headline metrics to the run ledger
+                                  (default results/ledger.jsonl)
   clustered trace [--workload NAME | --program FILE.s]
                 [--policy ...] [--clusters N] [--instructions N]
                 [--warmup N] [--interval N] [--decentralized] [--grid]
@@ -122,6 +136,14 @@ USAGE:
                                 profile the simulator itself: where host
                                 wall-clock goes per pipeline stage, calendar
                                 queue health, and per-cluster load skew
+  clustered diff A.json B.json  compare two result artifacts, aligned by
+                [--threshold X]   their provenance blocks; relative deltas
+                [--json]          up to X count as noise (default 0) and
+                                  the verdict is one of identical /
+                                  within-noise / drifted
+  clustered report [--ledger FILE] [--json]
+                                aggregate the run ledger into a
+                                per-workload × policy comparison table
   clustered asm FILE.s          assemble a program and report on it
   clustered workloads           list built-in workloads
   clustered phases --workload NAME [--instructions N]
@@ -258,6 +280,8 @@ const RUN_FLAGS: &[&str] = &[
     "energy",
     "csv",
     "json",
+    "audit",
+    "ledger",
 ];
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -267,6 +291,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let policy_name = policy.name();
     let instructions = flags.get_u64("instructions", 500_000)?;
     let warmup = flags.get_u64("warmup", 50_000)?;
+    // --audit alone reports violations; --audit strict also fails the
+    // run. Parsed up front so a typo surfaces before the simulation.
+    let audit = match (flags.has("audit"), flags.get("audit")) {
+        (false, _) => None,
+        (true, None) => Some(false),
+        (true, Some("strict")) => Some(true),
+        (true, Some(other)) => {
+            return Err(format!("--audit accepts only `strict`, got `{other}`"))
+        }
+    };
 
     // Capture once, replay: same records as live emulation (pinned by
     // the capture tests), and the buffer is reusable had we multiple
@@ -312,24 +346,75 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         None => (policy, None),
     };
     // Pre-decode once, then simulate off the compiled table: identical
-    // results to plain replay, cheaper per instruction.
+    // results to plain replay, cheaper per instruction. The audited
+    // run duplicates the drive sequence with an `AuditObserver` plugged
+    // in — the processor's observer is a type parameter, so the two
+    // branches build distinct monomorphisations (the unaudited one
+    // keeps the zero-cost `NullObserver` path).
     let stream = trace.compile().replay();
-    let mut cpu = Processor::new(cfg, stream, policy).map_err(|e| e.to_string())?;
-    cpu.run(warmup).map_err(|e| e.to_string())?;
-    if cpu.finished() {
-        return Err(format!(
-            "program ended after {} instructions, inside the {warmup}-instruction \
-             warm-up; rerun with a smaller --warmup",
-            cpu.stats().committed
-        ));
-    }
-    let before = *cpu.stats();
-    cpu.run(instructions).map_err(|e| e.to_string())?;
-    let s = cpu.stats().delta_since(&before);
+    let wall = std::time::Instant::now();
+    let short_run = |committed: u64| {
+        format!(
+            "program ended after {committed} instructions, inside the \
+             {warmup}-instruction warm-up; rerun with a smaller --warmup"
+        )
+    };
+    let (s, audit_doc): (SimStats, Option<Json>) = match audit {
+        None => {
+            let mut cpu = Processor::new(cfg, stream, policy).map_err(|e| e.to_string())?;
+            cpu.run(warmup).map_err(|e| e.to_string())?;
+            if cpu.finished() {
+                return Err(short_run(cpu.stats().committed));
+            }
+            let before = *cpu.stats();
+            cpu.run(instructions).map_err(|e| e.to_string())?;
+            (cpu.stats().delta_since(&before), None)
+        }
+        Some(strict) => {
+            let mut cpu = Processor::with_observer(
+                cfg,
+                stream,
+                policy,
+                SteeringKind::default(),
+                AuditObserver::new(),
+            )
+            .map_err(|e| e.to_string())?;
+            cpu.run(warmup).map_err(|e| e.to_string())?;
+            if cpu.finished() {
+                return Err(short_run(cpu.stats().committed));
+            }
+            let before = *cpu.stats();
+            cpu.run(instructions).map_err(|e| e.to_string())?;
+            let s = cpu.stats().delta_since(&before);
+            let auditor = cpu.observer();
+            if !auditor.is_clean() {
+                for v in auditor.violations() {
+                    eprintln!("audit violation: {v}");
+                }
+                if strict {
+                    return Err(format!(
+                        "audit: {} violation(s) across {} checks",
+                        auditor.violations().len(),
+                        auditor.checks_run()
+                    ));
+                }
+            }
+            (s, Some(auditor.to_json()))
+        }
+    };
+    let prov = Provenance::new(
+        workload_name.as_str(),
+        Some(trace.checksum()),
+        cfg.digest(),
+        policy_name.as_str(),
+    )
+    .with_wall_seconds(wall.elapsed().as_secs_f64());
 
     if flags.has("json") {
         // Run metadata first, then every counter and derived rate from
-        // the exhaustive SimStats export.
+        // the exhaustive SimStats export; the whole document rides in
+        // the {schema_version, provenance, data} envelope shared by
+        // every exported artifact.
         let mut doc = Json::object()
             .set("workload", workload_name.as_str())
             .set("policy", policy_name.as_str())
@@ -351,7 +436,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .set("per_instruction", e.per_instruction(&s)),
             );
         }
-        println!("{}", doc.to_string_pretty());
+        if let Some(a) = &audit_doc {
+            doc = doc.set("audit", a.clone());
+        }
+        println!("{}", envelope(&prov, doc).to_string_pretty());
     } else {
         println!("workload            {workload_name}");
         println!("policy              {policy_name}");
@@ -371,6 +459,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "distant-ILP issues  {:.1}%",
             100.0 * s.distant_issues as f64 / s.committed.max(1) as f64
         );
+        if let Some(a) = &audit_doc {
+            let checks = a.get("checks_run").and_then(Json::as_u64).unwrap_or(0);
+            let violations = a
+                .get("violations")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            println!(
+                "audit               {} ({checks} checks, {violations} violations)",
+                if violations == 0 { "clean" } else { "VIOLATED" }
+            );
+        }
     }
     if let (Some(path), Some(timeline)) = (flags.get("csv"), timeline.as_ref()) {
         let mut csv = String::from("committed,cycles,ipc,branches,memrefs,clusters\n");
@@ -401,6 +500,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             e.dynamic,
             e.per_instruction(&s)
         );
+    }
+    if flags.has("ledger") {
+        let path = PathBuf::from(flags.get("ledger").unwrap_or(DEFAULT_LEDGER_PATH));
+        let entry = LedgerEntry {
+            provenance: prov.clone(),
+            metrics: Json::object()
+                .set("ipc", s.ipc())
+                .set("cycles", s.cycles)
+                .set("committed", s.committed),
+        };
+        append_entry(&path, &entry)
+            .map_err(|e| format!("cannot append to ledger `{}`: {e}", path.display()))?;
+        if !flags.has("json") {
+            println!("ledger              {} (run {})", path.display(), prov.run_id);
+        }
     }
     Ok(())
 }
@@ -673,9 +787,95 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = flags.get("decisions") {
-        std::fs::write(path, decisions_jsonl(&decisions))
+        // First line is the run's provenance record (discriminated by
+        // its `event` key); decision records follow, one per line.
+        let prov = Provenance::new(
+            trace.name(),
+            Some(trace.checksum()),
+            cfg.digest(),
+            policy_name.as_str(),
+        );
+        let header = Json::object()
+            .set("event", "provenance")
+            .set("provenance", prov.to_json())
+            .to_string_compact();
+        std::fs::write(path, format!("{header}\n{}", decisions_jsonl(&decisions)))
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
-        println!("  trace               {path} ({} lines)", decisions.len());
+        println!("  trace               {path} ({} lines)", decisions.len() + 1);
+    }
+    Ok(())
+}
+
+/// `clustered diff A.json B.json [--threshold X] [--json]`: align two
+/// exported artifacts by their provenance blocks and compare every
+/// numeric counter. The command reports — it never fails on drift (the
+/// verdict is in the output for callers to gate on); only unreadable
+/// or malformed inputs are errors.
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = DEFAULT_DIFF_THRESHOLD;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold expects a number")?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("--threshold expects a number, got `{v}`"))?;
+                if threshold.is_nan() || threshold < 0.0 {
+                    return Err(format!("--threshold must be >= 0, got `{v}`"));
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"))
+            }
+            path => paths.push(path),
+        }
+    }
+    let [a, b] = paths[..] else {
+        return Err("usage: clustered diff A.json B.json [--threshold X] [--json]".into());
+    };
+    let read = |path: &str| -> Result<Json, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        clustered::stats::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+    };
+    let report = diff_docs(&read(a)?, &read(b)?, threshold);
+    if json {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        println!("a: {a}\nb: {b}");
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
+const REPORT_FLAGS: &[&str] = &["ledger", "json"];
+
+/// `clustered report [--ledger FILE] [--json]`: aggregate the run
+/// ledger into a per-workload × policy table of headline metrics.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, REPORT_FLAGS)?;
+    let path = PathBuf::from(flags.get("ledger").unwrap_or(DEFAULT_LEDGER_PATH));
+    if !path.exists() {
+        return Err(format!(
+            "no ledger at `{}`; register runs with `clustered run --ledger`",
+            path.display()
+        ));
+    }
+    let (entries, skipped) =
+        read_ledger(&path).map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let report = LedgerReport::build(&entries, skipped);
+    if flags.has("json") {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        println!("ledger: {} ({} runs)", path.display(), entries.len());
+        if skipped > 0 {
+            println!("warning: {skipped} malformed line(s) skipped");
+        }
+        print!("{}", report.render());
     }
     Ok(())
 }
@@ -747,7 +947,17 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
     };
 
     if flags.has("json") {
-        println!("{}", host_profile_json(p, &label, wall_seconds).to_string_pretty());
+        let prov = Provenance::new(
+            trace.name(),
+            Some(trace.checksum()),
+            cfg.digest(),
+            policy_name.as_str(),
+        )
+        .with_wall_seconds(wall_seconds);
+        println!(
+            "{}",
+            envelope(&prov, host_profile_json(p, &label, wall_seconds)).to_string_pretty()
+        );
         return Ok(());
     }
 

@@ -200,9 +200,16 @@ fn run_json_emits_a_parseable_document() {
         "--json",
     ]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
-    let doc = clustered::stats::json::parse(&stdout(&out))
+    let envelope = clustered::stats::json::parse(&stdout(&out))
         .expect("stdout must be exactly one valid JSON document");
     use clustered::stats::Json;
+    assert_eq!(envelope.get("schema_version").and_then(Json::as_u64), Some(1));
+    let prov = envelope.get("provenance").expect("provenance block");
+    let prov = clustered::stats::Provenance::from_json(prov).expect("provenance parses");
+    assert_eq!(prov.trace_name, "gzip");
+    assert!(prov.trace_checksum.is_some(), "run provenance pins the trace checksum");
+    assert!(prov.config_digest != 0, "run provenance pins the config digest");
+    let doc = envelope.get("data").expect("payload under `data`");
     assert_eq!(doc.get("workload").and_then(Json::as_str), Some("gzip"));
     let ipc = doc.get("ipc").and_then(Json::as_f64).expect("ipc present");
     assert!(ipc > 0.0);
@@ -324,8 +331,17 @@ fn explain_limit_truncates_and_decisions_flag_dumps_parseable_jsonl() {
 
     use clustered::stats::Json;
     let jsonl = std::fs::read_to_string(&path).expect("decision trace written");
-    assert!(jsonl.lines().count() > 5, "the dump holds every decision, not just shown rows");
-    for line in jsonl.lines() {
+    let mut lines = jsonl.lines();
+    let header = clustered::stats::json::parse(lines.next().expect("header line"))
+        .expect("header is valid JSON");
+    assert_eq!(header.get("event").and_then(Json::as_str), Some("provenance"));
+    assert!(
+        clustered::stats::Provenance::from_json(header.get("provenance").expect("block"))
+            .is_some(),
+        "header carries a parseable provenance record"
+    );
+    assert!(lines.clone().count() > 5, "the dump holds every decision, not just shown rows");
+    for line in lines {
         let d = clustered::stats::json::parse(line).expect("each line is valid JSON");
         for key in ["interval", "commit", "cycle", "state", "ipc", "clusters", "reason"] {
             assert!(d.get(key).is_some(), "decision line missing `{key}`: {line}");
@@ -424,8 +440,16 @@ fn perf_writes_host_profile_and_chrome_trace() {
     args.push("--json");
     let out = clustered(&args);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
-    let doc = clustered::stats::json::parse(&stdout(&out))
+    let envelope = clustered::stats::json::parse(&stdout(&out))
         .expect("stdout must be exactly one valid JSON document");
+    assert!(
+        clustered::stats::Provenance::from_json(
+            envelope.get("provenance").expect("provenance block")
+        )
+        .is_some(),
+        "host profiles carry provenance"
+    );
+    let doc = envelope.get("data").expect("payload under `data`");
     assert!(doc.get("sim_cycles").and_then(Json::as_u64).expect("sim_cycles") > 0);
     assert!(doc.get("sim_cycles_per_sec").and_then(Json::as_f64).expect("throughput") > 0.0);
     let stages = doc.get("profile").and_then(|p| p.get("stages")).expect("stage buckets");
@@ -443,6 +467,163 @@ fn perf_writes_host_profile_and_chrome_trace() {
         (share_sum - 1.0).abs() < 1e-9,
         "stage shares partition the loop time, got {share_sum}"
     );
+}
+
+#[test]
+fn run_audit_strict_is_clean_and_surfaces_the_report() {
+    let out = clustered(&[
+        "run",
+        "--workload",
+        "gzip",
+        "--policy",
+        "explore",
+        "--warmup",
+        "2000",
+        "--instructions",
+        "10000",
+        "--audit",
+        "strict",
+        "--json",
+    ]);
+    assert!(out.status.success(), "strict audit must pass: {}", stderr(&out));
+    use clustered::stats::Json;
+    let envelope = clustered::stats::json::parse(&stdout(&out)).expect("valid JSON");
+    let audit = envelope.get("data").and_then(|d| d.get("audit")).expect("audit block");
+    assert_eq!(audit.get("clean").and_then(Json::as_bool), Some(true));
+    assert!(audit.get("checks_run").and_then(Json::as_u64).expect("checks_run") > 0);
+    assert_eq!(
+        audit.get("violations").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0)
+    );
+
+    // Text mode prints the one-line verdict.
+    let out = clustered(&[
+        "run", "--workload", "gzip", "--warmup", "2000", "--instructions", "10000", "--audit",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("audit               clean"), "{}", stdout(&out));
+}
+
+#[test]
+fn run_audit_rejects_unknown_modes() {
+    let out = clustered(&[
+        "run", "--workload", "gzip", "--instructions", "5000", "--audit", "bogus",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--audit"), "{}", stderr(&out));
+}
+
+/// `clustered diff` on two runs of the same trace + config returns
+/// verdict `identical`; against a different policy it reports
+/// structured per-counter deltas and verdict `drifted`.
+#[test]
+fn diff_verdicts_identical_same_config_and_drifted_across_policies() {
+    let dir = std::env::temp_dir().join("clustered_cli_diff_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run = |policy: &[&str], file: &str| {
+        let mut args =
+            vec!["run", "--workload", "gzip", "--warmup", "2000", "--instructions", "10000"];
+        args.extend_from_slice(policy);
+        args.push("--json");
+        let out = clustered(&args);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        let path = dir.join(file);
+        std::fs::write(&path, stdout(&out)).expect("write artifact");
+        path
+    };
+    let a = run(&["--policy", "explore"], "a.json");
+    let b = run(&["--policy", "explore"], "b.json");
+    let c = run(&["--policy", "fixed", "--clusters", "8"], "c.json");
+
+    use clustered::stats::Json;
+    let out = clustered(&["diff", a.to_str().expect("utf-8"), b.to_str().expect("utf-8")]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("verdict: identical"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("same experiment"), "{}", stdout(&out));
+
+    let out = clustered(&[
+        "diff",
+        a.to_str().expect("utf-8"),
+        c.to_str().expect("utf-8"),
+        "--json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let doc = clustered::stats::json::parse(&stdout(&out)).expect("valid JSON");
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("drifted"));
+    let changed = doc.get("changed").and_then(Json::as_arr).expect("changed counters");
+    assert!(!changed.is_empty(), "different policies must drift");
+    for delta in changed {
+        for key in ["path", "a", "b", "abs_delta", "rel_delta"] {
+            assert!(delta.get(key).is_some(), "delta missing `{key}`");
+        }
+    }
+    // Both sides' provenance rides in the report.
+    let alignment = doc.get("provenance").expect("provenance alignment");
+    for side in ["a", "b"] {
+        assert!(
+            clustered::stats::Provenance::from_json(alignment.get(side).expect("side")).is_some(),
+            "side {side} provenance parses"
+        );
+    }
+}
+
+#[test]
+fn diff_requires_two_readable_artifacts() {
+    let out = clustered(&["diff", "/nonexistent/a.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage: clustered diff"), "{}", stderr(&out));
+    let out = clustered(&["diff", "/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+/// `run --ledger` appends provenance + headline metrics; `report`
+/// aggregates them per workload × policy.
+#[test]
+fn ledger_registers_runs_and_report_aggregates_them() {
+    let dir = std::env::temp_dir().join("clustered_cli_ledger_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ledger = dir.join("ledger.jsonl");
+    let ledger_str = ledger.to_str().expect("utf-8");
+    for policy in [&["--policy", "explore"][..], &["--policy", "fixed", "--clusters", "4"]] {
+        let mut args =
+            vec!["run", "--workload", "gzip", "--warmup", "2000", "--instructions", "10000"];
+        args.extend_from_slice(policy);
+        args.extend(["--ledger", ledger_str]);
+        let out = clustered(&args);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        assert!(stdout(&out).contains("ledger              "), "{}", stdout(&out));
+    }
+
+    use clustered::stats::Json;
+    let text = std::fs::read_to_string(&ledger).expect("ledger written");
+    assert_eq!(text.lines().count(), 2, "one line per registered run");
+    for line in text.lines() {
+        let entry = clustered::stats::json::parse(line).expect("each line is valid JSON");
+        assert!(entry.get("provenance").is_some() && entry.get("metrics").is_some());
+    }
+
+    let out = clustered(&["report", "--ledger", ledger_str]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("gzip"), "{text}");
+    assert!(text.contains("fixed-4"), "{text}");
+
+    let out = clustered(&["report", "--ledger", ledger_str, "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let doc = clustered::stats::json::parse(&stdout(&out)).expect("valid JSON");
+    assert_eq!(doc.get("entries").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("skipped_lines").and_then(Json::as_u64), Some(0));
+    let rows = doc.get("rows").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), 2, "two distinct workload × policy groups");
+}
+
+#[test]
+fn report_without_a_ledger_is_a_clear_error() {
+    let out = clustered(&["report", "--ledger", "/nonexistent/ledger.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("no ledger at"), "{}", stderr(&out));
 }
 
 #[test]

@@ -13,6 +13,7 @@ const STATS_KEYS: &[&str] = &[
     "cycles",
     "committed",
     "dispatched",
+    "fetched",
     "ipc",
     "cond_branches",
     "branches",
@@ -62,6 +63,54 @@ fn stats_json_key_set_is_pinned() {
         j.get("dispatch_stalls").and_then(Json::keys).expect("stall attribution object"),
         vec!["fetch", "rob", "resources"]
     );
+}
+
+/// The default configuration's digest is part of the provenance
+/// contract: ledgers and diff reports compare runs by it, so it may
+/// only move when the timing configuration (or the digest scheme)
+/// deliberately changes — update the literal *and* say why in the
+/// commit message.
+#[test]
+fn default_config_digest_is_pinned() {
+    assert_eq!(
+        SimConfig::default().digest(),
+        13362372836891616520,
+        "SimConfig::default().digest() moved — a config field, default value, \
+         or the digest scheme changed; ledger entries and diff baselines from \
+         older builds will no longer align"
+    );
+    assert_ne!(SimConfig::default().digest(), SimConfig::monolithic().digest());
+}
+
+/// Every exported artifact shares the `{schema_version, provenance,
+/// data}` envelope, and the provenance block's key set is pinned.
+#[test]
+fn artifact_envelope_and_provenance_key_sets_are_pinned() {
+    let prov = clustered::stats::Provenance::new("gzip", Some(7), 11, "explore");
+    let doc = clustered::stats::envelope(&prov, Json::object().set("x", 1u64));
+    assert_eq!(doc.keys().expect("object"), vec!["schema_version", "provenance", "data"]);
+    let pkeys = doc.get("provenance").and_then(Json::keys).expect("provenance object");
+    assert_eq!(
+        pkeys,
+        vec![
+            "schema_version",
+            "crate_version",
+            "git_describe",
+            "trace",
+            "config_digest",
+            "policy",
+            "seed",
+            "host",
+            "wall_seconds",
+            "run_id",
+        ],
+        "provenance schema changed — update this golden list, EXPERIMENTS.md, \
+         and bump PROVENANCE_SCHEMA_VERSION if the change is incompatible"
+    );
+    let round = clustered::stats::Provenance::from_json(doc.get("provenance").expect("block"))
+        .expect("provenance round-trips");
+    assert_eq!(round.trace_checksum, Some(7));
+    assert_eq!(round.config_digest, 11);
 }
 
 #[test]
