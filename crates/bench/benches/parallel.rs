@@ -1,0 +1,135 @@
+//! Intra-run parallelism bench: whole-loop wall-clock of one
+//! simulation at 0 (sequential oracle), 1 (batched phases inline), 2,
+//! and 4 intra-run threads, on the widest machine the model has — the
+//! decentralized cache with all 16 clusters configured and active.
+//!
+//! The arms are *interleaved* (sample 0 of every arm, then sample 1 of
+//! every arm, …) so ambient host noise — thermal drift, a background
+//! compile — lands on all arms alike instead of biasing whichever arm
+//! ran last. Every arm must simulate the exact same cycle count: the
+//! thread pool is a host-execution strategy, and a divergence here is
+//! a correctness bug, not a perf result.
+//!
+//! Honest expectations, recorded up front: the conservative-sync
+//! design pays two spin-barrier round-trips per simulated cycle
+//! (select, gather) against a sequential loop that spends a few
+//! hundred nanoseconds per cycle in total. Amdahl plus barrier cost
+//! means flat-to-slower results at small cluster counts are the
+//! *expected* outcome; the bench exists to measure, not to flatter.
+//! Results go to `results/BENCH_parallel.json` ("cases" schema, gated
+//! by `bench-cmp` in `scripts/ci.sh`).
+
+use clustered_bench::sweep::capture_for;
+use clustered_sim::{
+    CacheModel, FixedPolicy, HostProfiler, Processor, SimConfig, SteeringKind,
+    DEFAULT_SAMPLE_INTERVAL,
+};
+use clustered_stats::Json;
+use clustered_workloads::CapturedTrace;
+
+const WARMUP: u64 = 5_000;
+const INSTRUCTIONS: u64 = 100_000;
+/// The intra-run thread axis; 0 is the sequential oracle loop.
+const ARMS: [usize; 4] = [0, 1, 2, 4];
+
+/// One run of the 16-configured/16-active decentralized case at the
+/// given intra-run thread count: (whole-loop ns, measured sim cycles).
+fn timed_run(trace: &CapturedTrace, intra: usize) -> (u64, u64) {
+    let mut cfg = SimConfig::default();
+    cfg.cache.model = CacheModel::Decentralized;
+    cfg.intra_jobs = intra;
+    let mut cpu = Processor::with_observer(
+        cfg,
+        trace.compile().replay(),
+        Box::new(FixedPolicy::new(16)),
+        SteeringKind::default(),
+        HostProfiler::new(DEFAULT_SAMPLE_INTERVAL),
+    )
+    .expect("valid bench configuration");
+    cpu.run(WARMUP).expect("simulator stalled in warm-up");
+    let cycles_before = cpu.stats().cycles;
+    cpu.observer_mut().reset();
+    cpu.run(INSTRUCTIONS).expect("simulator stalled");
+    let cycles = cpu.stats().cycles - cycles_before;
+    (cpu.observer().loop_nanos(), cycles)
+}
+
+fn summarize(mut ns: Vec<u64>) -> (u64, u64, u64) {
+    ns.sort_unstable();
+    let min = ns[0];
+    let median = ns[ns.len() / 2];
+    let mean = ns.iter().sum::<u64>() / ns.len() as u64;
+    (min, median, mean)
+}
+
+fn main() {
+    let samples: usize = std::env::var("CLUSTERED_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|n: usize| n.max(1))
+        .unwrap_or(10);
+    println!("bench suite `parallel`: {samples} samples per arm, interleaved\n");
+
+    let w = clustered_workloads::by_name("gzip").expect("built-in workload");
+    let trace = capture_for(&w, WARMUP, INSTRUCTIONS);
+
+    // Warm-up pass per arm (first-touch costs are not what we track).
+    for &intra in &ARMS {
+        let _ = timed_run(&trace, intra);
+    }
+
+    let mut loop_ns: Vec<Vec<u64>> = ARMS.iter().map(|_| Vec::with_capacity(samples)).collect();
+    let mut cycles_pin: Option<u64> = None;
+    for _ in 0..samples {
+        for (a, &intra) in ARMS.iter().enumerate() {
+            let (ns, cycles) = timed_run(&trace, intra);
+            loop_ns[a].push(ns);
+            // The hard acceptance bar: every arm, every sample, the
+            // same simulated schedule.
+            match cycles_pin {
+                None => cycles_pin = Some(cycles),
+                Some(c) => assert_eq!(
+                    c, cycles,
+                    "intra_jobs={intra}: schedule diverged from the sequential arm"
+                ),
+            }
+        }
+    }
+
+    let seq_min = *loop_ns[0].iter().min().expect("at least one sample");
+    println!(
+        "{:<40} {:>12} {:>12} {:>12} {:>9}",
+        "case (whole-loop ns)", "min", "median", "mean", "speedup"
+    );
+    let mut cases = Vec::new();
+    for (a, &intra) in ARMS.iter().enumerate() {
+        let name = format!("parallel/gzip_dec_16of16_intra{intra}");
+        let (min, median, mean) = summarize(loop_ns[a].clone());
+        println!(
+            "{name:<40} {min:>12} {median:>12} {mean:>12} {:>8.2}x",
+            seq_min as f64 / min.max(1) as f64
+        );
+        cases.push(
+            Json::object()
+                .set("name", name.as_str())
+                .set("min_ns", min)
+                .set("median_ns", median)
+                .set("mean_ns", mean)
+                .set("samples", samples),
+        );
+    }
+
+    let doc = Json::object()
+        .set("suite", "parallel")
+        .set("sim_cycles", Json::object().set("gzip_dec_16of16", cycles_pin.unwrap_or(0)))
+        .set("cases", Json::Arr(cases));
+    if let Ok(path) = std::env::var("CLUSTERED_BENCH_JSON") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, doc.to_string_pretty()) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("\ncannot write {path}: {e}"),
+        }
+    }
+}

@@ -131,9 +131,11 @@ const RING_WORDS: usize = RING_WINDOW / 64;
 #[derive(Debug, Clone)]
 pub struct Cluster {
     /// Issue-queue capacity per domain. (Occupancy and free-register
-    /// counts live in dense per-processor arrays — the dispatch stage
-    /// reads them for every cluster per instruction, and walking one
-    /// `Cluster` struct per entry thrashed the cache.)
+    /// counts live in the per-cluster `ClusterDomain` beside this
+    /// scheduler — the domain owns all of one cluster's mutable state
+    /// so the intra-run pool can hand whole domains to workers; the
+    /// dispatch stage gathers its dense steering snapshot from the
+    /// domains per instruction.)
     pub iq_cap: [usize; 2],
     /// Busy-until cycle per functional unit, grouped.
     fu_busy: [Vec<u64>; FU_GROUPS],

@@ -97,6 +97,11 @@ pub struct QueueHealth {
     pub active_clusters: usize,
     /// Physically configured clusters.
     pub configured_clusters: usize,
+    /// Intra-run pool participants driving this run: `0` on the
+    /// sequential oracle path, otherwise the thread count of the
+    /// `--intra-jobs` pool (1 = batched path, single-threaded). Lets
+    /// the profiler fold per-cluster load onto the worker partition.
+    pub intra_threads: usize,
 }
 
 /// One aggregated slice of the host-time timeline: stage wall-clock
@@ -150,6 +155,7 @@ pub struct HostProfiler {
     drained_events: [u64; MAX_CLUSTERS],
     drained_total: u64,
     cluster_busy_cycles: [u64; MAX_CLUSTERS],
+    intra_threads: usize,
     last_floor: Option<u64>,
     slices: Vec<HostSlice>,
     dropped_slices: u64,
@@ -196,6 +202,7 @@ impl HostProfiler {
             drained_events: [0; MAX_CLUSTERS],
             drained_total: 0,
             cluster_busy_cycles: [0; MAX_CLUSTERS],
+            intra_threads: 0,
             last_floor: None,
             slices: Vec::new(),
             dropped_slices: 0,
@@ -272,6 +279,39 @@ impl HostProfiler {
         self.dropped_slices
     }
 
+    /// Intra-run pool participants observed in the health samples
+    /// (`0` = sequential oracle path).
+    pub fn intra_threads(&self) -> usize {
+        self.intra_threads
+    }
+
+    /// Folds a per-cluster counter array onto the intra-run worker
+    /// partition (worker `t` owns clusters `t, t + threads, …` — the
+    /// pool's strided split). Empty when no intra-run pool was active.
+    fn per_thread(&self, per_cluster: &[u64; MAX_CLUSTERS]) -> Vec<u64> {
+        let threads = self.intra_threads;
+        if threads == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; threads];
+        for (c, &n) in per_cluster.iter().enumerate() {
+            out[c % threads] += n;
+        }
+        out
+    }
+
+    /// Events drained per intra-run worker (empty without a pool):
+    /// partition imbalance at a glance.
+    pub fn drained_per_thread(&self) -> Vec<u64> {
+        self.per_thread(&self.drained_events)
+    }
+
+    /// Busy cluster-cycles per intra-run worker (empty without a
+    /// pool).
+    pub fn busy_cycles_per_thread(&self) -> Vec<u64> {
+        self.per_thread(&self.cluster_busy_cycles)
+    }
+
     /// Load skew across clusters that drained at least one event:
     /// max/mean of per-cluster drained events (1.0 = perfectly even,
     /// 0.0 when nothing drained). The parallel-partitioning work reads
@@ -324,7 +364,18 @@ impl HostProfiler {
                     .set("busy_cycles_per_cluster", Json::Arr(busy))
                     .set("busy_clusters", self.busy_clusters.to_json())
                     .set("fully_quiescent_cycles", self.fully_quiescent_cycles)
-                    .set("drained_skew", self.drained_skew()),
+                    .set("drained_skew", self.drained_skew())
+                    .set("intra_threads", self.intra_threads as u64)
+                    .set(
+                        "drained_per_thread",
+                        Json::Arr(self.drained_per_thread().into_iter().map(Json::from).collect()),
+                    )
+                    .set(
+                        "busy_cycles_per_thread",
+                        Json::Arr(
+                            self.busy_cycles_per_thread().into_iter().map(Json::from).collect(),
+                        ),
+                    ),
             )
             .set("sample_interval", self.sample_interval)
             .set("slices", Json::Arr(slices))
@@ -395,6 +446,7 @@ impl crate::observe::SimObserver for HostProfiler {
             self.floor_advance.record(sample.floor.saturating_sub(last));
         }
         self.last_floor = Some(sample.floor);
+        self.intra_threads = self.intra_threads.max(sample.intra_threads);
         let busy = sample.queued_mask.count_ones();
         self.busy_clusters.record(u64::from(busy));
         if busy == 0 {
@@ -439,6 +491,7 @@ mod tests {
             queued_mask: mask,
             active_clusters: 4,
             configured_clusters: 16,
+            intra_threads: 0,
         }
     }
 
@@ -467,6 +520,29 @@ mod tests {
         assert_eq!(p.busy_clusters.count(), 2);
         // Floor advance is a delta: only the second sample records one.
         assert_eq!(p.floor_advance.count(), 1);
+    }
+
+    /// Per-cluster load folds onto the pool's strided worker
+    /// partition (cluster `c` → worker `c % threads`); without a pool
+    /// the per-thread views are empty.
+    #[test]
+    fn per_thread_views_fold_the_strided_partition() {
+        let mut p = HostProfiler::default();
+        assert!(p.drained_per_thread().is_empty(), "no pool, no per-thread view");
+        let mut sample = health(1, 0b111); // clusters 0..=2 busy
+        sample.intra_threads = 2;
+        p.on_queue_health(&sample);
+        for shard in [0, 0, 1, 2, 2, 2] {
+            p.on_event_drained(shard);
+        }
+        assert_eq!(p.intra_threads(), 2);
+        // Worker 0 owns clusters 0 and 2 (2 + 3 drains, 2 busy);
+        // worker 1 owns cluster 1 (1 drain, 1 busy).
+        assert_eq!(p.drained_per_thread(), vec![5, 1]);
+        assert_eq!(p.busy_cycles_per_thread(), vec![2, 1]);
+        let j = p.to_json();
+        let skew = j.get("skew").expect("skew section");
+        assert_eq!(skew.get("intra_threads"), Some(&Json::from(2u64)));
     }
 
     #[test]

@@ -45,7 +45,10 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is
+// `pipeline::pool`, whose raw-pointer domain partition carries its
+// safety argument inline and opts in with a scoped `allow`.
+#![deny(unsafe_code)]
 
 mod audit;
 mod bankpred;

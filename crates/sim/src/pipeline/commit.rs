@@ -30,16 +30,18 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         debug_assert!(e.waiters.is_empty(), "retiring a producer with undrained waiters");
         let d = e.d;
         let class = e.class;
-        let cluster = e.cluster;
+        let cluster = e.cluster as usize;
         let dest = e.dest;
         let frees = e.frees;
         let distant = e.distant;
         let mispredicted = e.mispredicted;
-        let bank = e.bank;
-        let bank_cluster = e.bank_cluster;
-        let alloc_slice = e.alloc_slice;
-        let copies = e.copies;
+        let bank = e.bank as usize;
+        let bank_cluster = e.bank_cluster as usize;
+        let alloc_slice = e.alloc_slice as usize;
         let copies_mask = e.copies_mask;
+        // The entry's value-copy rows live under its *physical* slot in
+        // the domains; resolve it before the head moves.
+        let slot = self.rob.slot_of(0);
         self.rob.advance_head();
         // Stores write their bank at commit (tags, port, stats); the
         // data is buffered so commit itself does not wait.
@@ -77,22 +79,24 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             _ => {}
         }
         if let Some((cluster, domain)) = frees {
-            self.free_regs[domain][cluster] += 1;
+            self.domains[cluster as usize].free_regs[domain as usize] += 1;
         }
         if let Some(dest) = dest {
             let r = dest.unified_index();
             if self.rename[r] == Some(d.seq) {
                 self.rename[r] = None;
                 self.arch_home[r] = cluster;
+                // Scatter the retiring value's per-cluster arrival
+                // cycles into the domains' architectural tables.
                 // Unwitnessed slots are stale values from the ROB
                 // slot's previous occupant; materialize them as absent.
-                self.arch_avail[r] = std::array::from_fn(|c| {
-                    if copies_mask >> c & 1 == 1 {
-                        copies[c]
+                for (c, dom) in self.domains.iter_mut().enumerate() {
+                    dom.arch_avail[r] = if copies_mask >> c & 1 == 1 {
+                        dom.value_copies[slot]
                     } else {
                         ABSENT
-                    }
-                });
+                    };
+                }
             }
         }
         self.stats.committed += 1;

@@ -68,12 +68,13 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             match self.renamed_producer(r) {
                 Some((_, pidx)) => {
                     let p = &self.rob[pidx];
-                    producer[i] = Some(p.cluster);
+                    producer[i] = Some(p.cluster as usize);
                     estimate[i] = if p.done { p.done_at } else { ABSENT };
                 }
                 None => {
-                    producer[i] = Some(self.arch_home[r]);
-                    estimate[i] = self.arch_avail[r][self.arch_home[r]];
+                    let home = self.arch_home[r];
+                    producer[i] = Some(home);
+                    estimate[i] = self.domains[home].arch_avail[r];
                 }
             }
         }
@@ -133,15 +134,21 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         let mut has_free_reg = [false; MAX_CLUSTERS];
         for (c, free) in has_free_reg.iter_mut().enumerate().take(self.active) {
             *free = match dest_domain {
-                Some(k) => self.free_regs[k][c] > 0,
+                Some(k) => self.domains[c].free_regs[k] > 0,
                 None => true,
             } && (!load_needs_slice || self.lsq[c].has_space());
         }
+        // The steering heuristics want a dense occupancy slice; gather
+        // it from the domain owners (a few words per instruction).
+        let mut occ = [0usize; MAX_CLUSTERS];
+        for (c, d) in self.domains.iter().enumerate() {
+            occ[c] = d.iq_used[domain.index()];
+        }
         let request = SteerRequest {
             active: self.active,
-            occupancy: &self.iq_used[domain.index()][..self.clusters.len()],
-            capacity: self.clusters[0].iq_cap[domain.index()],
-            has_free_reg: &has_free_reg[..self.clusters.len()],
+            occupancy: &occ[..self.domains.len()],
+            capacity: self.domains[0].sched.iq_cap[domain.index()],
+            has_free_reg: &has_free_reg[..self.domains.len()],
             needs_reg,
             critical_producer: critical,
             other_producer: other,
@@ -171,9 +178,9 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
                 debug_assert!(false, "memref {} without an address", d.seq);
             }
         }
-        self.iq_used[domain.index()][cluster] += 1;
+        self.domains[cluster].iq_used[domain.index()] += 1;
         if let Some(k) = dest_domain {
-            self.free_regs[k][cluster] -= 1;
+            self.domains[cluster].free_regs[k] -= 1;
         }
         let alloc_slice = match (self.cfg.cache.model, class) {
             (CacheModel::Centralized, OpClass::Load | OpClass::Store) => {
@@ -200,10 +207,10 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         // Rename: record what this destination frees at commit.
         let frees = dest.map(|r| {
             let ri = r.unified_index();
-            let k = usize::from(!r.is_int());
+            let k = u8::from(!r.is_int());
             match self.renamed_producer(ri) {
                 Some((_, pidx)) => (self.rob[pidx].cluster, k),
-                None => (self.arch_home[ri], k),
+                None => (self.arch_home[ri] as u8, k),
             }
         });
 
@@ -214,10 +221,11 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         let active = self.active;
         let idx = self.rob.len();
         {
+            debug_assert!(cluster < MAX_CLUSTERS && active <= MAX_CLUSTERS);
             let e = self.rob.push_slot();
             e.d = d;
             e.class = class;
-            e.cluster = cluster;
+            e.cluster = cluster as u8;
             e.dest = dest;
             e.frees = frees;
             e.srcs_outstanding = 0;
@@ -233,8 +241,8 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             e.store_value_at = ABSENT;
             e.bank = 0;
             e.bank_cluster = 0;
-            e.alloc_slice = alloc_slice;
-            e.active_at_dispatch = active;
+            e.alloc_slice = alloc_slice as u8;
+            e.active_at_dispatch = active as u8;
         }
 
         // Resolve sources: architectural and completed values get (or
@@ -263,10 +271,10 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
                         }
                     } else if store_value {
                         store_value_waited = true;
-                        self.rob[pidx].waiters.push((seq, cluster, STORE_VALUE_SLOT));
+                        self.rob[pidx].waiters.push((seq, cluster as u8, STORE_VALUE_SLOT));
                     } else {
                         self.rob[idx].srcs_outstanding += 1;
-                        self.rob[pidx].waiters.push((seq, cluster, i as u8));
+                        self.rob[pidx].waiters.push((seq, cluster as u8, i as u8));
                     }
                 }
                 None => {
@@ -297,17 +305,17 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     }
 
     fn arch_value_arrival(&mut self, r: usize, to: usize) -> u64 {
-        if self.arch_avail[r][to] != ABSENT {
-            return self.arch_avail[r][to];
+        if self.domains[to].arch_avail[r] != ABSENT {
+            return self.domains[to].arch_avail[r];
         }
         let home = self.arch_home[r];
-        let base = self.arch_avail[r][home];
+        let base = self.domains[home].arch_avail[r];
         let arrival = self.net.transfer(home, to, base.max(self.now));
         let hops = self.net.distance(home, to);
         self.stats.reg_transfers += 1;
         self.stats.reg_transfer_hops += hops;
         self.observer.on_transfer(self.now, TransferKind::Register, home, to, hops);
-        self.arch_avail[r][to] = arrival;
+        self.domains[to].arch_avail[r] = arrival;
         arrival
     }
 }

@@ -1,13 +1,33 @@
-//! Sharded event queues and the event handlers of the backend.
+//! The event coordinator and every event handler of the backend.
 //!
 //! Events — writebacks, AGU completions, LSQ arrivals, and store
-//! broadcasts — are queued per destination cluster in [`EventShards`]
-//! but drained in one global `(time, tick)` order, so the schedule is
-//! exactly the one a single machine-wide queue would compute while
-//! quiescent clusters cost nothing (see DESIGN.md, "Sharded event
-//! model").
+//! broadcasts — are the backend's *typed boundary messages*: the only
+//! way work crosses from one [`ClusterDomain`] into another or into
+//! the shared LSQ/cache/commit machinery. Each event waits in the
+//! calendar [`Shard`] owned by its destination domain, but the
+//! [`EventCoordinator`] drains all shards in one global `(time, tick)`
+//! order, so the schedule is exactly the one a single machine-wide
+//! queue would compute while quiescent clusters cost nothing (see
+//! DESIGN.md, "Sharded event model").
+//!
+//! Two drain strategies compute that same schedule:
+//!
+//! - [`Processor::drain_events`] — the sequential oracle: pop the
+//!   globally earliest due event, run its handler, repeat.
+//! - [`Processor::drain_events_batched`] — the round-based drain used
+//!   by the `--intra-jobs` path: gather every currently due event out
+//!   of the shards (optionally on a scoped thread pool — gathering
+//!   touches only the owning domain), merge by `(time, tick)`, then
+//!   run the handlers in that order; repeat until nothing is due.
+//!   Handler pushes always carry the current cycle or later with a
+//!   fresh (larger) tick, so they sort after everything gathered and
+//!   are picked up by the next round — the delivered order is
+//!   bit-identical to the oracle's (pinned by the unit tests here and
+//!   by `tests/parallel_equivalence.rs`).
 
-use super::{Processor, ABSENT, STORE_VALUE_SLOT};
+use super::domain::ClusterDomain;
+use super::pool::IntraPool;
+use super::{Processor, ABSENT, FANOUT_MIN, STORE_VALUE_SLOT};
 use crate::cluster::FuGroup;
 use crate::config::CacheModel;
 use crate::observe::{SimObserver, TransferKind};
@@ -71,8 +91,12 @@ struct Bucket {
 /// so the earliest pending bucket is found in a handful of bit
 /// operations. Push and pop are plain `Vec` appends/reads — no
 /// heap sift — which is what makes the event machinery cheap.
+///
+/// Owned by its [`ClusterDomain`]; the global ordering state (heads,
+/// winner tree, tick counter, floor) lives in the shared
+/// [`EventCoordinator`].
 #[derive(Debug)]
-struct Shard {
+pub(super) struct Shard {
     buckets: Vec<Bucket>,
     /// Bit `i % 64` of `occ[i / 64]` ⇔ `buckets[i]` has undelivered
     /// entries.
@@ -83,13 +107,18 @@ struct Shard {
 }
 
 impl Shard {
-    fn new() -> Shard {
+    pub(super) fn new() -> Shard {
         Shard {
             buckets: vec![Bucket::default(); CAL_WINDOW],
             occ: [0; CAL_WORDS],
             summary: 0,
             len: 0,
         }
+    }
+
+    /// Undelivered events waiting in this shard.
+    pub(super) fn len(&self) -> usize {
+        self.len
     }
 
     fn insert(&mut self, time: u64, tick: u64, kind: EventKind) {
@@ -126,7 +155,7 @@ impl Shard {
     /// The earliest undelivered event, as `(time, tick, bucket)`.
     /// `floor` must lower-bound every undelivered time, which makes
     /// ring order from `floor` equal to time order.
-    fn head(&self, floor: u64) -> (u64, u64, usize) {
+    pub(super) fn head(&self, floor: u64) -> (u64, u64, usize) {
         let idx = self.find_first(floor as usize & CAL_MASK);
         let b = &self.buckets[idx];
         let (t, k, _) = b.items[b.next];
@@ -157,6 +186,34 @@ impl Shard {
         } else {
             (kind, Some((time, b.items[b.next].1)))
         }
+    }
+
+    /// Takes every undelivered entry of bucket `idx` into `out` and
+    /// empties the bucket, returning the count. Within the window one
+    /// bucket holds events of exactly one undelivered `time`, already
+    /// in tick order, so this is the batch form of repeated
+    /// [`Shard::pop_at`] on the same bucket.
+    pub(super) fn take_bucket(
+        &mut self,
+        idx: usize,
+        time: u64,
+        out: &mut Vec<(u64, u64, EventKind)>,
+    ) -> usize {
+        let b = &mut self.buckets[idx];
+        debug_assert!(
+            b.next < b.items.len() && b.items[b.next].0 == time,
+            "taking a bucket whose head is not time {time}"
+        );
+        let n = b.items.len() - b.next;
+        out.extend_from_slice(&b.items[b.next..]);
+        b.items.clear();
+        b.next = 0;
+        self.occ[idx >> 6] &= !(1 << (idx & 63));
+        if self.occ[idx >> 6] == 0 {
+            self.summary &= !(1 << (idx >> 6));
+        }
+        self.len -= n;
+        n
     }
 }
 
@@ -204,25 +261,28 @@ impl HeadTree {
     }
 }
 
-/// Per-cluster event queues behind a single global ordering.
+/// The global ordering state over the per-domain calendar shards.
 ///
-/// Each shard is a calendar queue ([`Shard`]); the `tick` counter is
-/// *global* and strictly increasing across every push, so `(time,
-/// tick)` totally orders all in-flight events regardless of shard.
-/// [`EventShards::pop_due`] always returns the globally smallest due
-/// pair, which makes the drain order identical to a single machine-wide
-/// `(time, tick)` min-heap — the sharding only changes *where* events
-/// wait, never *when* they fire. Within a bucket (one shard, one
-/// cycle), append order is tick order because ticks grow with every
-/// push and overflow migration always precedes a same-time insert.
+/// Each [`ClusterDomain`] owns its [`Shard`]; the coordinator owns
+/// everything that spans them: the cached shard heads and their winner
+/// tree, the *global* strictly-increasing `tick` counter, the
+/// `next_due`/`floor` watermarks, the far-future overflow heap, and
+/// the conservation counters. `(time, tick)` totally orders all
+/// in-flight events regardless of shard, and
+/// [`EventCoordinator::pop_due`] always returns the globally smallest
+/// due pair, which makes the drain order identical to a single
+/// machine-wide `(time, tick)` min-heap — the sharding only changes
+/// *where* events wait, never *when* they fire. Within a bucket (one
+/// shard, one cycle), append order is tick order because ticks grow
+/// with every push and overflow migration always precedes a same-time
+/// insert.
 ///
 /// The frontier is the [`HeadTree`] minimum plus `next_due`, a lower
 /// bound on the earliest pending event time: on cycles with nothing
 /// due, the drain returns after one comparison, so a wide machine with
 /// idle clusters pays nothing for their empty queues.
 #[derive(Debug)]
-pub(super) struct EventShards {
-    shards: Vec<Shard>,
+pub(super) struct EventCoordinator {
     /// Cached earliest undelivered `(time, tick)` per shard —
     /// `(u64::MAX, u64::MAX)` when empty. Only the shard actually
     /// popped recomputes its head from calendar memory.
@@ -247,14 +307,13 @@ pub(super) struct EventShards {
     /// that already touch the same cache lines — kept unconditionally
     /// so the invariant is checkable on any run.
     pushed: u64,
-    /// Cumulative events ever delivered by [`EventShards::pop_due`].
+    /// Cumulative events ever delivered (by pop or batch gather).
     popped: u64,
 }
 
-impl EventShards {
-    pub(super) fn new(shards: usize) -> EventShards {
-        EventShards {
-            shards: (0..shards).map(|_| Shard::new()).collect(),
+impl EventCoordinator {
+    pub(super) fn new(shards: usize) -> EventCoordinator {
+        EventCoordinator {
             heads: vec![(u64::MAX, u64::MAX); shards],
             tree: HeadTree::new(shards),
             tick: 0,
@@ -266,8 +325,19 @@ impl EventShards {
         }
     }
 
-    fn insert(&mut self, shard: usize, time: u64, tick: u64, kind: EventKind) {
-        self.shards[shard].insert(time, tick, kind);
+    /// The drain floor: every undelivered event fires at or after it.
+    pub(super) fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Lower bound on the earliest pending event time; the cycle
+    /// loop's one-comparison idle exit.
+    pub(super) fn next_due(&self) -> u64 {
+        self.next_due
+    }
+
+    fn insert(&mut self, domains: &mut [ClusterDomain], shard: usize, time: u64, tick: u64, kind: EventKind) {
+        domains[shard].shard.insert(time, tick, kind);
         if (time, tick) < self.heads[shard] {
             self.heads[shard] = (time, tick);
             self.tree.update(shard, (time, tick));
@@ -279,13 +349,13 @@ impl EventShards {
     /// so bucket append order stays tick order: an overflow event is
     /// always older (smaller tick) than a calendar push for the same
     /// cycle, because the window only ever advances.
-    fn migrate_overflow_upto(&mut self, limit: u64) {
+    fn migrate_overflow_upto(&mut self, domains: &mut [ClusterDomain], limit: u64) {
         while let Some(&Reverse((t, k, c, kind))) = self.overflow.peek() {
             if t > limit || t.saturating_sub(self.floor) >= CAL_WINDOW as u64 {
                 break;
             }
             self.overflow.pop();
-            self.insert(c as usize, t, k, kind);
+            self.insert(domains, c as usize, t, k, kind);
         }
     }
 
@@ -293,19 +363,19 @@ impl EventShards {
         self.overflow.peek().map_or(u64::MAX, |&Reverse((t, ..))| t)
     }
 
-    fn push(&mut self, shard: usize, time: u64, kind: EventKind) {
+    pub(super) fn push(&mut self, domains: &mut [ClusterDomain], shard: usize, time: u64, kind: EventKind) {
         debug_assert!(time >= self.floor, "event scheduled in the delivered past");
         let time = time.max(self.floor);
         self.pushed += 1;
         self.tick += 1;
         let tick = self.tick;
         if !self.overflow.is_empty() {
-            self.migrate_overflow_upto(time);
+            self.migrate_overflow_upto(domains, time);
         }
         if time - self.floor >= CAL_WINDOW as u64 {
             self.overflow.push(Reverse((time, tick, shard as u32, kind)));
         } else {
-            self.insert(shard, time, tick, kind);
+            self.insert(domains, shard, time, tick, kind);
         }
         self.next_due = self.next_due.min(time);
     }
@@ -320,13 +390,13 @@ impl EventShards {
     /// winning shard's calendar memory is touched. Returns `None` —
     /// after refreshing `next_due` exactly — once nothing is due, so
     /// the caller's next idle cycle is a single comparison.
-    fn pop_due(&mut self, now: u64) -> Option<(usize, EventKind)> {
+    pub(super) fn pop_due(&mut self, domains: &mut [ClusterDomain], now: u64) -> Option<(usize, EventKind)> {
         if self.next_due > now {
             return None;
         }
         loop {
             if !self.overflow.is_empty() {
-                self.migrate_overflow_upto(now);
+                self.migrate_overflow_upto(domains, now);
             }
             // `t == u64::MAX` is the tree's "all shards empty" key,
             // not a due event — no real event is ever scheduled there
@@ -337,13 +407,13 @@ impl EventShards {
                     // The cached head names the bucket directly; no
                     // occupancy-bitmap walk on the common path.
                     let idx = t as usize & CAL_MASK;
-                    let (kind, same_bucket) = self.shards[c].pop_at(idx, t);
-                    let head = if self.shards[c].len == 0 {
+                    let (kind, same_bucket) = domains[c].shard.pop_at(idx, t);
+                    let head = if domains[c].shard.len() == 0 {
                         (u64::MAX, u64::MAX)
                     } else if let Some(head) = same_bucket {
                         head
                     } else {
-                        let (ht, hk, _) = self.shards[c].head(self.floor);
+                        let (ht, hk, _) = domains[c].shard.head(self.floor);
                         (ht, hk)
                     };
                     self.heads[c] = head;
@@ -371,11 +441,68 @@ impl EventShards {
         }
     }
 
+    /// Opens one batch-drain round: replicates [`pop_due`]'s frontier
+    /// and floor bookkeeping (overflow migration, blocked-window
+    /// retry, `next_due`/floor refresh when nothing is due), then
+    /// returns the bitmask of shards whose head is due at `now` — the
+    /// shards [`ClusterDomain::gather_due`] must empty this round. A
+    /// zero mask means the drain is complete for this cycle, with
+    /// `next_due` exact, just as after a `pop_due` miss.
+    ///
+    /// [`pop_due`]: EventCoordinator::pop_due
+    pub(super) fn begin_round(&mut self, domains: &mut [ClusterDomain], now: u64) -> u32 {
+        loop {
+            if !self.overflow.is_empty() {
+                self.migrate_overflow_upto(domains, now);
+            }
+            match self.tree.min() {
+                (t, ..) if t <= now && t != u64::MAX => {
+                    let mut mask = 0u32;
+                    for (c, &(ht, _)) in self.heads.iter().enumerate() {
+                        if ht <= now {
+                            mask |= 1 << c;
+                        }
+                    }
+                    return mask;
+                }
+                (t, ..) => {
+                    let oh = self.overflow_head_time();
+                    if !self.overflow.is_empty() && oh <= now {
+                        self.floor = self.floor.max(t.min(oh));
+                        continue;
+                    }
+                    self.next_due = t.min(oh);
+                    self.floor = self.floor.max(now.saturating_add(1));
+                    return 0;
+                }
+            }
+        }
+    }
+
+    /// Closes a batch-drain round after the shards in `mask` gathered:
+    /// refreshes their cached heads and the winner tree, and accounts
+    /// the gathered events as delivered.
+    pub(super) fn finish_round(&mut self, domains: &mut [ClusterDomain], mut mask: u32) {
+        while mask != 0 {
+            let c = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.popped += domains[c].gathered.len() as u64;
+            let head = if domains[c].shard.len() == 0 {
+                (u64::MAX, u64::MAX)
+            } else {
+                let (ht, hk, _) = domains[c].shard.head(self.floor);
+                (ht, hk)
+            };
+            self.heads[c] = head;
+            self.tree.update(c, head);
+        }
+    }
+
     /// Queue-health snapshot for the host profiler:
     /// `(calendar_events, overflow_events, floor)`. O(shards) — only
     /// called from the profiled cycle loop.
-    pub(super) fn health(&self) -> (usize, usize, u64) {
-        let calendar: usize = self.shards.iter().map(|s| s.len).sum();
+    pub(super) fn health(&self, domains: &[ClusterDomain]) -> (usize, usize, u64) {
+        let calendar: usize = domains.iter().map(|d| d.shard.len()).sum();
         (calendar, self.overflow.len(), self.floor)
     }
 
@@ -383,8 +510,9 @@ impl EventShards {
     /// pending)`, where `pending` counts live calendar + overflow
     /// events. Every pushed event is either delivered or still
     /// pending: `pushed == popped + pending` at every cycle boundary.
-    pub(super) fn conservation(&self) -> (u64, u64, u64) {
-        let pending: usize = self.shards.iter().map(|s| s.len).sum::<usize>() + self.overflow.len();
+    pub(super) fn conservation(&self, domains: &[ClusterDomain]) -> (u64, u64, u64) {
+        let pending: usize =
+            domains.iter().map(|d| d.shard.len()).sum::<usize>() + self.overflow.len();
         (self.pushed, self.popped, pending as u64)
     }
 }
@@ -394,24 +522,91 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     /// shard is a locality hint only — the drain order is global — so
     /// callers pass whichever cluster or LSQ slice the event concerns.
     pub(super) fn schedule(&mut self, shard: usize, time: u64, kind: EventKind) {
-        self.events.push(shard, time, kind);
+        self.events.push(&mut self.domains, shard, time, kind);
     }
 
+    /// Dispatches one delivered event to its handler.
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::WriteBack { seq } => self.writeback(seq),
+            EventKind::LoadAddr { seq } => self.load_addr(seq),
+            EventKind::StoreAddr { seq } => self.store_addr(seq),
+            EventKind::LoadAtLsq { seq, slice } => self.load_at_lsq(seq, slice),
+            EventKind::StoreResolved { seq, slice, word, own, forward_here } => {
+                self.store_resolved(seq, slice, word, own, forward_here)
+            }
+        }
+    }
+
+    /// The sequential oracle drain: one event at a time, in global
+    /// `(time, tick)` order, each handler running before the next pop.
     pub(super) fn drain_events(&mut self) {
-        while let Some((shard, kind)) = self.events.pop_due(self.now) {
+        while let Some((shard, kind)) = self.events.pop_due(&mut self.domains, self.now) {
             if O::WANTS_HOST_PROFILE {
                 self.observer.on_event_drained(shard);
             }
-            match kind {
-                EventKind::WriteBack { seq } => self.writeback(seq),
-                EventKind::LoadAddr { seq } => self.load_addr(seq),
-                EventKind::StoreAddr { seq } => self.store_addr(seq),
-                EventKind::LoadAtLsq { seq, slice } => self.load_at_lsq(seq, slice),
-                EventKind::StoreResolved { seq, slice, word, own, forward_here } => {
-                    self.store_resolved(seq, slice, word, own, forward_here)
+            self.handle(kind);
+        }
+    }
+
+    /// The round-based drain of the `--intra-jobs` path: gather every
+    /// currently due event out of the owning shards (fanned out over
+    /// `pool` when enough shards are due), merge by `(time, tick)`,
+    /// execute, repeat. Handlers only ever schedule at the current
+    /// cycle or later with fresh ticks, so each round's merged batch
+    /// is a prefix of the remaining global order and the delivered
+    /// sequence is bit-identical to [`drain_events`].
+    ///
+    /// [`drain_events`]: Processor::drain_events
+    pub(super) fn drain_events_batched(&mut self, pool: Option<&IntraPool>) {
+        if self.events.next_due() > self.now {
+            return;
+        }
+        loop {
+            let due = self.events.begin_round(&mut self.domains, self.now);
+            if due == 0 {
+                break;
+            }
+            let floor = self.events.floor();
+            match pool {
+                Some(pool) if due.count_ones() as usize >= FANOUT_MIN => {
+                    pool.gather(&mut self.domains, due, self.now, floor);
+                }
+                _ => {
+                    let mut m = due;
+                    while m != 0 {
+                        let c = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        self.domains[c].gather_due(self.now, floor);
+                    }
                 }
             }
+            self.events.finish_round(&mut self.domains, due);
+            self.execute_gathered(due);
         }
+    }
+
+    /// Merges the shards' gathered events back into global `(time,
+    /// tick)` order and runs their handlers.
+    fn execute_gathered(&mut self, mut mask: u32) {
+        let mut merged = std::mem::take(&mut self.drain_scratch);
+        debug_assert!(merged.is_empty());
+        while mask != 0 {
+            let c = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            for (t, k, kind) in self.domains[c].gathered.drain(..) {
+                merged.push((t, k, c as u32, kind));
+            }
+        }
+        merged.sort_unstable_by_key(|&(t, k, ..)| (t, k));
+        for &(_, _, shard, kind) in &merged {
+            if O::WANTS_HOST_PROFILE {
+                self.observer.on_event_drained(shard as usize);
+            }
+            self.handle(kind);
+        }
+        merged.clear();
+        self.drain_scratch = merged;
     }
 
     /// A cache-related transfer between clusters: free when local,
@@ -443,10 +638,11 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             debug_assert!(false, "writeback for seq {seq} not in the ROB");
             return;
         };
-        let cluster = self.rob[idx].cluster;
+        let cluster = self.rob[idx].cluster as usize;
+        let slot = self.rob.slot_of(idx);
         self.rob[idx].done = true;
         self.rob[idx].done_at = self.now;
-        self.rob[idx].copies[cluster] = self.now;
+        self.domains[cluster].value_copies[slot] = self.now;
         self.rob[idx].copies_mask |= 1 << cluster;
 
         // Wake consumers, transferring the value to their clusters.
@@ -456,7 +652,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         // its capacity instead of round-tripping through a side pool.
         for w in 0..self.rob[idx].waiters.len() {
             let (wseq, wcluster, slot) = self.rob[idx].waiters[w];
-            let arrival = self.value_arrival(idx, wcluster);
+            let arrival = self.value_arrival(idx, wcluster as usize);
             self.source_arrived(wseq, arrival, slot);
         }
         self.rob[idx].waiters.clear();
@@ -481,7 +677,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
                 debug_assert!(false, "store {seq} without an address at writeback");
                 return;
             };
-            let fslice = self.forward_slice(self.rob[idx].bank);
+            let fslice = self.forward_slice(self.rob[idx].bank as usize);
             let avail = self.now + self.net.latency(cluster, fslice);
             self.lsq[fslice].update_store_data(mem_access.addr >> 3, seq, avail);
             if !self.loads_waiting_data.is_empty() {
@@ -502,12 +698,16 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     }
 
     /// When `entry`'s result reaches cluster `to`, scheduling a
-    /// transfer if it is not already there or en route.
+    /// transfer if it is not already there or en route. The arrival
+    /// timestamp lives in the *destination* domain's value-copy table
+    /// (indexed by the producer's physical ROB slot); the entry's
+    /// `copies_mask` says which domains hold a copy.
     pub(super) fn value_arrival(&mut self, idx: usize, to: usize) -> u64 {
-        let from = self.rob[idx].cluster;
+        let slot = self.rob.slot_of(idx);
+        let from = self.rob[idx].cluster as usize;
         let done = self.rob[idx].done_at;
         if self.rob[idx].copies_mask >> to & 1 == 1 {
-            return self.rob[idx].copies[to];
+            return self.domains[to].value_copies[slot];
         }
         let arrival = if to == from {
             done
@@ -519,7 +719,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             self.observer.on_transfer(self.now, TransferKind::Register, from, to, hops);
             a
         };
-        self.rob[idx].copies[to] = arrival;
+        self.domains[to].value_copies[slot] = arrival;
         self.rob[idx].copies_mask |= 1 << to;
         arrival
     }
@@ -535,7 +735,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             self.rob[idx].store_value_at = arrival;
             if self.rob[idx].agu_done != ABSENT {
                 let t = self.rob[idx].agu_done.max(arrival).max(self.now);
-                let cluster = self.rob[idx].cluster;
+                let cluster = self.rob[idx].cluster as usize;
                 self.schedule(cluster, t, EventKind::WriteBack { seq });
             }
             return;
@@ -545,14 +745,14 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         e.ready_at = e.ready_at.max(arrival);
         e.srcs_outstanding -= 1;
         if e.srcs_outstanding == 0 {
-            let (cluster, group, ready_at) = (e.cluster, FuGroup::of(e.class), e.ready_at);
+            let (cluster, group, ready_at) = (e.cluster as usize, FuGroup::of(e.class), e.ready_at);
             self.cluster_enqueue(cluster, group, ready_at, seq);
         }
     }
 
     fn broadcast_store(&mut self, idx: usize) {
         let seq = self.rob[idx].d.seq;
-        let cluster = self.rob[idx].cluster;
+        let cluster = self.rob[idx].cluster as usize;
         let Some(mem_access) = self.rob[idx].d.mem else {
             debug_assert!(false, "store {seq} without an address at broadcast");
             return;
@@ -561,7 +761,9 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         let word = addr >> 3;
         match self.cfg.cache.model {
             CacheModel::Centralized => {
-                self.rob[idx].bank = self.mem.bank_of(addr, self.cfg.cache.l1_banks);
+                let bank = self.mem.bank_of(addr, self.cfg.cache.l1_banks);
+                debug_assert!(bank <= u16::MAX as usize, "bank index exceeds u16");
+                self.rob[idx].bank = bank as u16;
                 self.rob[idx].bank_cluster = 0;
                 let at = self.routed_cache_transfer(cluster, 0, self.now);
                 self.schedule(
@@ -571,10 +773,10 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
                 );
             }
             CacheModel::Decentralized => {
-                let active = self.rob[idx].active_at_dispatch;
+                let active = self.rob[idx].active_at_dispatch as usize;
                 let bank = self.mem.bank_of(addr, active);
-                self.rob[idx].bank = bank;
-                self.rob[idx].bank_cluster = bank;
+                self.rob[idx].bank = bank as u16;
+                self.rob[idx].bank_cluster = bank as u8;
                 for k in 0..active {
                     let at = self.routed_cache_transfer(cluster, k, self.now);
                     self.schedule(
@@ -603,7 +805,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         self.broadcast_store(idx);
         let value_at = self.rob[idx].store_value_at;
         if value_at != ABSENT {
-            let cluster = self.rob[idx].cluster;
+            let cluster = self.rob[idx].cluster as usize;
             self.schedule(cluster, value_at.max(self.now), EventKind::WriteBack { seq });
         }
     }
@@ -613,7 +815,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             debug_assert!(false, "load-address event for seq {seq} not in the ROB");
             return;
         };
-        let cluster = self.rob[idx].cluster;
+        let cluster = self.rob[idx].cluster as usize;
         let Some(mem_access) = self.rob[idx].d.mem else {
             debug_assert!(false, "load {seq} without an address at the AGU");
             return;
@@ -621,16 +823,18 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         let addr = mem_access.addr;
         match self.cfg.cache.model {
             CacheModel::Centralized => {
-                self.rob[idx].bank = self.mem.bank_of(addr, self.cfg.cache.l1_banks);
+                let bank = self.mem.bank_of(addr, self.cfg.cache.l1_banks);
+                debug_assert!(bank <= u16::MAX as usize, "bank index exceeds u16");
+                self.rob[idx].bank = bank as u16;
                 self.rob[idx].bank_cluster = 0;
                 let at = self.routed_cache_transfer(cluster, 0, self.now);
                 self.schedule(0, at.max(self.now), EventKind::LoadAtLsq { seq, slice: 0 });
             }
             CacheModel::Decentralized => {
-                let active = self.rob[idx].active_at_dispatch;
+                let active = self.rob[idx].active_at_dispatch as usize;
                 let bank = self.mem.bank_of(addr, active);
-                self.rob[idx].bank = bank;
-                self.rob[idx].bank_cluster = bank;
+                self.rob[idx].bank = bank as u16;
+                self.rob[idx].bank_cluster = bank as u8;
                 let at = self.routed_cache_transfer(cluster, bank, self.now);
                 self.schedule(bank, at.max(self.now), EventKind::LoadAtLsq { seq, slice: bank });
             }
@@ -654,8 +858,11 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             debug_assert!(false, "load {seq} without an address at the LSQ");
             return;
         };
-        let (bank, bank_cluster, cluster) =
-            (self.rob[idx].bank, self.rob[idx].bank_cluster, self.rob[idx].cluster);
+        let (bank, bank_cluster, cluster) = (
+            self.rob[idx].bank as usize,
+            self.rob[idx].bank_cluster as usize,
+            self.rob[idx].cluster as usize,
+        );
         let word = mem_access.addr >> 3;
         let data_at_bank = match self.lsq[slice].forward_source(word, seq) {
             Some((store_seq, avail)) => {
@@ -700,7 +907,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
                 let avail = if self.rob[idx].done {
                     // The data may have been produced after the address
                     // broadcast departed; it still needs its own trip.
-                    let extra = self.net.latency(self.rob[idx].cluster, slice);
+                    let extra = self.net.latency(self.rob[idx].cluster as usize, slice);
                     self.now.max(self.rob[idx].done_at + extra)
                 } else {
                     ABSENT
@@ -721,23 +928,30 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
 
 #[cfg(test)]
 mod tests {
-    use super::{EventKind, EventShards};
+    use super::super::domain::ClusterDomain;
+    use super::{EventCoordinator, EventKind};
 
     fn wb(seq: u64) -> EventKind {
         EventKind::WriteBack { seq }
+    }
+
+    fn harness(n: usize) -> (EventCoordinator, Vec<ClusterDomain>) {
+        let params = crate::config::SimConfig::default().clusters;
+        let domains = (0..n).map(|_| ClusterDomain::new(&params, 8)).collect();
+        (EventCoordinator::new(n), domains)
     }
 
     /// The sharded queue must pop in exactly the `(time, tick)` order
     /// of one global heap, regardless of which shard events sit in.
     #[test]
     fn pop_order_is_global_time_then_tick() {
-        let mut s = EventShards::new(4);
-        s.push(3, 10, wb(1)); // tick 1
-        s.push(0, 10, wb(2)); // tick 2: same time, later tick → after
-        s.push(2, 5, wb(3)); // tick 3: earlier time → first
-        s.push(1, 10, wb(4)); // tick 4
+        let (mut s, mut d) = harness(4);
+        s.push(&mut d, 3, 10, wb(1)); // tick 1
+        s.push(&mut d, 0, 10, wb(2)); // tick 2: same time, later tick → after
+        s.push(&mut d, 2, 5, wb(3)); // tick 3: earlier time → first
+        s.push(&mut d, 1, 10, wb(4)); // tick 4
         let mut order = Vec::new();
-        while let Some((_, kind)) = s.pop_due(u64::MAX) {
+        while let Some((_, kind)) = s.pop_due(&mut d, u64::MAX) {
             order.push(kind);
         }
         assert_eq!(order, vec![wb(3), wb(1), wb(2), wb(4)]);
@@ -745,16 +959,16 @@ mod tests {
 
     #[test]
     fn pop_due_respects_now_and_refreshes_frontier() {
-        let mut s = EventShards::new(2);
-        s.push(0, 7, wb(1));
-        s.push(1, 3, wb(2));
-        assert_eq!(s.pop_due(2), None, "nothing due before cycle 3");
+        let (mut s, mut d) = harness(2);
+        s.push(&mut d, 0, 7, wb(1));
+        s.push(&mut d, 1, 3, wb(2));
+        assert_eq!(s.pop_due(&mut d, 2), None, "nothing due before cycle 3");
         assert_eq!(s.next_due, 3, "scan refreshed the frontier exactly");
-        assert_eq!(s.pop_due(3), Some((1, wb(2))));
-        assert_eq!(s.pop_due(3), None);
+        assert_eq!(s.pop_due(&mut d, 3), Some((1, wb(2))));
+        assert_eq!(s.pop_due(&mut d, 3), None);
         assert_eq!(s.next_due, 7);
-        assert_eq!(s.pop_due(7), Some((0, wb(1))));
-        assert_eq!(s.pop_due(u64::MAX), None);
+        assert_eq!(s.pop_due(&mut d, 7), Some((0, wb(1))));
+        assert_eq!(s.pop_due(&mut d, u64::MAX), None);
         assert_eq!(s.tree.min().0, u64::MAX, "drained shards leave the frontier");
         assert_eq!(s.next_due, u64::MAX);
     }
@@ -763,12 +977,12 @@ mod tests {
     /// are seen by the same drain, as with the former single heap.
     #[test]
     fn same_cycle_chains_are_visible() {
-        let mut s = EventShards::new(2);
-        s.push(0, 4, wb(1));
-        assert_eq!(s.pop_due(4), Some((0, wb(1))));
-        s.push(1, 4, wb(2)); // a handler scheduling for the same cycle
-        assert_eq!(s.pop_due(4), Some((1, wb(2))));
-        assert_eq!(s.pop_due(4), None);
+        let (mut s, mut d) = harness(2);
+        s.push(&mut d, 0, 4, wb(1));
+        assert_eq!(s.pop_due(&mut d, 4), Some((0, wb(1))));
+        s.push(&mut d, 1, 4, wb(2)); // a handler scheduling for the same cycle
+        assert_eq!(s.pop_due(&mut d, 4), Some((1, wb(2))));
+        assert_eq!(s.pop_due(&mut d, 4), None);
     }
 
     /// The calendar ring wraps: once the floor has advanced, a bucket
@@ -777,15 +991,15 @@ mod tests {
     #[test]
     fn calendar_ring_wrap_keeps_time_order() {
         let w = super::CAL_WINDOW as u64;
-        let mut s = EventShards::new(1);
-        s.push(0, w - 100, wb(1));
-        assert_eq!(s.pop_due(w - 100), Some((0, wb(1))));
-        assert_eq!(s.pop_due(w - 100), None); // floor advances past w - 100
-        s.push(0, w - 1, wb(2)); // last bucket of the ring
-        s.push(0, w + 300, wb(3)); // wraps to a bucket before the floor's
-        assert_eq!(s.pop_due(w + 300), Some((0, wb(2))));
-        assert_eq!(s.pop_due(w + 300), Some((0, wb(3))));
-        assert_eq!(s.pop_due(w + 300), None);
+        let (mut s, mut d) = harness(1);
+        s.push(&mut d, 0, w - 100, wb(1));
+        assert_eq!(s.pop_due(&mut d, w - 100), Some((0, wb(1))));
+        assert_eq!(s.pop_due(&mut d, w - 100), None); // floor advances past w - 100
+        s.push(&mut d, 0, w - 1, wb(2)); // last bucket of the ring
+        s.push(&mut d, 0, w + 300, wb(3)); // wraps to a bucket before the floor's
+        assert_eq!(s.pop_due(&mut d, w + 300), Some((0, wb(2))));
+        assert_eq!(s.pop_due(&mut d, w + 300), Some((0, wb(3))));
+        assert_eq!(s.pop_due(&mut d, w + 300), None);
     }
 
     /// Events beyond the calendar window park in the overflow heap and
@@ -793,14 +1007,14 @@ mod tests {
     #[test]
     fn far_future_events_overflow_and_return() {
         let far = 2 * super::CAL_WINDOW as u64 + 100;
-        let mut s = EventShards::new(2);
-        s.push(1, far, wb(1)); // beyond the window: parked
-        s.push(0, 10, wb(2));
-        assert_eq!(s.pop_due(10), Some((0, wb(2))));
-        assert_eq!(s.pop_due(far - 1), None);
+        let (mut s, mut d) = harness(2);
+        s.push(&mut d, 1, far, wb(1)); // beyond the window: parked
+        s.push(&mut d, 0, 10, wb(2));
+        assert_eq!(s.pop_due(&mut d, 10), Some((0, wb(2))));
+        assert_eq!(s.pop_due(&mut d, far - 1), None);
         assert_eq!(s.next_due, far, "overflow head drives the frontier");
-        assert_eq!(s.pop_due(far), Some((1, wb(1))), "returns with the shard it waited in");
-        assert_eq!(s.pop_due(u64::MAX), None);
+        assert_eq!(s.pop_due(&mut d, far), Some((1, wb(1))), "returns with the shard it waited in");
+        assert_eq!(s.pop_due(&mut d, u64::MAX), None);
         assert_eq!(s.tree.min().0, u64::MAX);
     }
 
@@ -809,32 +1023,133 @@ mod tests {
     #[test]
     fn overflow_migration_preserves_tick_order() {
         let far = 2 * super::CAL_WINDOW as u64;
-        let mut s = EventShards::new(1);
-        s.push(0, far, wb(1)); // tick 1: parked in overflow
-        s.push(0, 5, wb(2));
-        assert_eq!(s.pop_due(5), Some((0, wb(2)))); // floor: 5
-        s.push(0, far - 5, wb(3)); // advances nothing: different bucket
-        assert_eq!(s.pop_due(far - 5), Some((0, wb(3)))); // floor: far - 5
-        s.push(0, far, wb(4)); // tick 4, same cycle: wb(1) must migrate first
-        assert_eq!(s.pop_due(far), Some((0, wb(1))));
-        assert_eq!(s.pop_due(far), Some((0, wb(4))));
-        assert_eq!(s.pop_due(far), None);
+        let (mut s, mut d) = harness(1);
+        s.push(&mut d, 0, far, wb(1)); // tick 1: parked in overflow
+        s.push(&mut d, 0, 5, wb(2));
+        assert_eq!(s.pop_due(&mut d, 5), Some((0, wb(2)))); // floor: 5
+        s.push(&mut d, 0, far - 5, wb(3)); // advances nothing: different bucket
+        assert_eq!(s.pop_due(&mut d, far - 5), Some((0, wb(3)))); // floor: far - 5
+        s.push(&mut d, 0, far, wb(4)); // tick 4, same cycle: wb(1) must migrate first
+        assert_eq!(s.pop_due(&mut d, far), Some((0, wb(1))));
+        assert_eq!(s.pop_due(&mut d, far), Some((0, wb(4))));
+        assert_eq!(s.pop_due(&mut d, far), None);
     }
 
     /// `health()` reports calendar occupancy, overflow depth, and the
     /// floor watermark — the profiler's queue-health sample.
     #[test]
     fn health_snapshot_tracks_calendars_overflow_and_floor() {
-        let mut s = EventShards::new(2);
-        assert_eq!(s.health(), (0, 0, 0));
-        s.push(0, 5, wb(1));
-        s.push(1, 9, wb(2));
-        s.push(1, 2 * super::CAL_WINDOW as u64, wb(3)); // parked
-        assert_eq!(s.health(), (2, 1, 0));
-        assert_eq!(s.pop_due(5), Some((0, wb(1))));
-        assert_eq!(s.pop_due(5), None); // floor rises past `now`
-        let (calendar, overflow, floor) = s.health();
+        let (mut s, mut d) = harness(2);
+        assert_eq!(s.health(&d), (0, 0, 0));
+        s.push(&mut d, 0, 5, wb(1));
+        s.push(&mut d, 1, 9, wb(2));
+        s.push(&mut d, 1, 2 * super::CAL_WINDOW as u64, wb(3)); // parked
+        assert_eq!(s.health(&d), (2, 1, 0));
+        assert_eq!(s.pop_due(&mut d, 5), Some((0, wb(1))));
+        assert_eq!(s.pop_due(&mut d, 5), None); // floor rises past `now`
+        let (calendar, overflow, floor) = s.health(&d);
         assert_eq!((calendar, overflow), (1, 1));
         assert!(floor > 5, "floor advances with the drain");
+    }
+
+    /// Drains `s` at `now` with the round-based batch machinery,
+    /// returning delivered `(shard, kind)` in execution order —
+    /// the test-local mirror of `drain_events_batched`.
+    fn drain_batched(
+        s: &mut EventCoordinator,
+        d: &mut [ClusterDomain],
+        now: u64,
+    ) -> Vec<(usize, EventKind)> {
+        let mut order = Vec::new();
+        if s.next_due > now {
+            return order;
+        }
+        loop {
+            let due = s.begin_round(d, now);
+            if due == 0 {
+                break;
+            }
+            let floor = s.floor;
+            let mut m = due;
+            while m != 0 {
+                let c = m.trailing_zeros() as usize;
+                m &= m - 1;
+                d[c].gather_due(now, floor);
+            }
+            s.finish_round(d, due);
+            let mut merged = Vec::new();
+            let mut m = due;
+            while m != 0 {
+                let c = m.trailing_zeros() as usize;
+                m &= m - 1;
+                for (t, k, kind) in d[c].gathered.drain(..) {
+                    merged.push((t, k, c, kind));
+                }
+            }
+            merged.sort_unstable_by_key(|&(t, k, ..)| (t, k));
+            order.extend(merged.into_iter().map(|(_, _, c, kind)| (c, kind)));
+        }
+        order
+    }
+
+    /// The batch drain must deliver exactly `pop_due`'s sequence —
+    /// same events, same order, same frontier/floor/conservation
+    /// bookkeeping — over a pseudo-random schedule with same-cycle
+    /// ties, cross-shard spread, and far-future overflow parking.
+    #[test]
+    fn batched_rounds_match_pop_due_order() {
+        let shards = 4;
+        let (mut a, mut da) = harness(shards);
+        let (mut b, mut db) = harness(shards);
+        let mut lcg = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut seq = 0u64;
+        for now in 1..600u64 {
+            for _ in 0..next() % 4 {
+                let shard = (next() % shards as u64) as usize;
+                let dt = match next() % 8 {
+                    0 => 0,
+                    1..=5 => next() % 16,
+                    _ => next() % (3 * super::CAL_WINDOW as u64),
+                };
+                seq += 1;
+                a.push(&mut da, shard, now + dt, wb(seq));
+                b.push(&mut db, shard, now + dt, wb(seq));
+            }
+            let mut order_a = Vec::new();
+            while let Some(ev) = a.pop_due(&mut da, now) {
+                order_a.push(ev);
+            }
+            let order_b = drain_batched(&mut b, &mut db, now);
+            assert_eq!(order_a, order_b, "delivery diverged at cycle {now}");
+            assert_eq!(
+                (a.next_due, a.floor, a.popped, a.pushed),
+                (b.next_due, b.floor, b.popped, b.pushed),
+                "bookkeeping diverged at cycle {now}"
+            );
+        }
+        assert!(a.popped > 100, "the schedule actually exercised the drain");
+    }
+
+    /// A due-but-window-blocked overflow event must release in a later
+    /// round, after every calendar event — matching `pop_due`'s
+    /// floor-raise-and-retry, not jumping ahead of the calendar.
+    #[test]
+    fn batched_drain_releases_blocked_overflow_after_calendar() {
+        let w = super::CAL_WINDOW as u64;
+        let (mut s, mut d) = harness(2);
+        s.push(&mut d, 0, 5, wb(1));
+        assert_eq!(drain_batched(&mut s, &mut d, 5), vec![(0, wb(1))]);
+        // floor is now 6; park an event past the window, plus a
+        // calendar event between.
+        let far = 6 + w + 10;
+        s.push(&mut d, 1, far, wb(2)); // overflow (far - 6 >= window)
+        s.push(&mut d, 0, 20, wb(3)); // calendar
+        let order = drain_batched(&mut s, &mut d, far);
+        assert_eq!(order, vec![(0, wb(3)), (1, wb(2))]);
+        assert_eq!(s.pop_due(&mut d, u64::MAX), None);
     }
 }

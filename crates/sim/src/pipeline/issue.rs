@@ -7,8 +7,23 @@
 //! so skipping it changes no machine state and consumes no event
 //! ticks: the computed schedule is bit-identical, the cost is
 //! proportional to busy clusters only.
+//!
+//! The stage factors into a *select* half (the cluster's scheduler
+//! picks this cycle's issue set into its own domain's scratch) and an
+//! *apply* half (ROB updates, stats, event scheduling — shared
+//! state). Select reads and writes only the owning [`ClusterDomain`],
+//! and apply on cluster `c` never touches another cluster's scheduler
+//! — an issued instruction wakes consumers via *events*, never by a
+//! same-cycle direct enqueue — so running every select before every
+//! apply ([`Processor::issue_split`], the `--intra-jobs` path, with
+//! the selects optionally fanned over the pool) computes exactly the
+//! schedule of the interleaved sequential loop ([`Processor::issue`]).
+//!
+//! [`ClusterDomain`]: super::domain::ClusterDomain
 
 use super::events::EventKind;
+use super::pool::IntraPool;
+use super::FANOUT_MIN;
 use crate::cluster::{latency_of, Domain};
 use crate::observe::SimObserver;
 use crate::reconfig::DISTANT_DEPTH;
@@ -18,49 +33,91 @@ use clustered_isa::OpClass;
 use super::Processor;
 
 impl<T: TraceSource, O: SimObserver> Processor<T, O> {
+    /// The sequential oracle: per busy cluster, select then apply,
+    /// interleaved in ascending cluster order.
     pub(super) fn issue(&mut self) {
-        let head_seq = self.rob.front().map(|e| e.d.seq);
-        let mut selected = std::mem::take(&mut self.selected);
         let busy = self.queued_mask.count_ones() as usize;
-        self.stats.quiescent_cluster_cycles += (self.clusters.len() - busy) as u64;
+        self.stats.quiescent_cluster_cycles += (self.domains.len() - busy) as u64;
         let mut m = self.queued_mask;
         while m != 0 {
             let c = m.trailing_zeros() as usize;
             m &= m - 1;
-            self.stats.cluster_busy_cycles[c] += 1;
-            selected.clear();
-            self.clusters[c].select(self.now, &mut selected);
-            if self.clusters[c].queued() == 0 {
-                self.queued_mask &= !(1 << c);
-            }
-            for &(seq, group, unit) in &selected {
-                let Some(idx) = self.rob_index(seq) else {
-                    debug_assert!(false, "issued seq {seq} not in the ROB");
-                    continue;
-                };
-                let class = self.rob[idx].class;
-                let (lat, pipelined) = latency_of(&self.cfg.exec, class);
-                let busy_until = if pipelined { self.now + 1 } else { self.now + lat };
-                self.clusters[c].occupy(group, unit, busy_until);
-                self.iq_used[Domain::of(class).index()][c] -= 1;
-                self.observer.on_issue(self.now, seq, c);
-                self.rob[idx].distant =
-                    head_seq.is_some_and(|h| seq - h >= DISTANT_DEPTH);
-                // Train the criticality predictor with the operand that
-                // arrived last.
-                if self.rob[idx].src_present == [true, true] {
-                    let [a0, a1] = self.rob[idx].src_arrival;
-                    self.crit.update(self.rob[idx].d.pc, usize::from(a1 >= a0));
-                }
-                match class {
-                    OpClass::Load => self
-                        .schedule(c, self.now + self.cfg.exec.int_alu, EventKind::LoadAddr { seq }),
-                    OpClass::Store => self
-                        .schedule(c, self.now + self.cfg.exec.int_alu, EventKind::StoreAddr { seq }),
-                    _ => self.schedule(c, self.now + lat, EventKind::WriteBack { seq }),
+            self.select_cluster(c);
+            self.apply_cluster(c);
+        }
+    }
+
+    /// The phase-split form used with `--intra-jobs`: every busy
+    /// cluster selects first (fanned over `pool` when wide enough),
+    /// then applies in ascending order — the same schedule as
+    /// [`issue`](Self::issue), per the module-level argument.
+    pub(super) fn issue_split(&mut self, pool: Option<&IntraPool>) {
+        let mask = self.queued_mask;
+        let busy = mask.count_ones() as usize;
+        self.stats.quiescent_cluster_cycles += (self.domains.len() - busy) as u64;
+        match pool {
+            Some(pool) if busy >= FANOUT_MIN => pool.select(&mut self.domains, mask, self.now),
+            _ => {
+                let mut m = mask;
+                while m != 0 {
+                    let c = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    self.select_cluster(c);
                 }
             }
         }
-        self.selected = selected;
+        let mut m = mask;
+        while m != 0 {
+            let c = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.apply_cluster(c);
+        }
+    }
+
+    /// The select half: the cluster's scheduler fills its domain's
+    /// `selected` scratch. Touches only that domain (pool-safe).
+    fn select_cluster(&mut self, c: usize) {
+        let d = &mut self.domains[c];
+        d.selected.clear();
+        d.sched.select(self.now, &mut d.selected);
+    }
+
+    /// The apply half: commits cluster `c`'s selections to shared
+    /// state — FU occupancy, ROB flags, criticality training, stats,
+    /// and the writeback/AGU events. Main-thread only.
+    fn apply_cluster(&mut self, c: usize) {
+        let head_seq = self.rob.front().map(|e| e.d.seq);
+        self.stats.cluster_busy_cycles[c] += 1;
+        if self.domains[c].sched.queued() == 0 {
+            self.queued_mask &= !(1 << c);
+        }
+        let selected = std::mem::take(&mut self.domains[c].selected);
+        for &(seq, group, unit) in &selected {
+            let Some(idx) = self.rob_index(seq) else {
+                debug_assert!(false, "issued seq {seq} not in the ROB");
+                continue;
+            };
+            let class = self.rob[idx].class;
+            let (lat, pipelined) = latency_of(&self.cfg.exec, class);
+            let busy_until = if pipelined { self.now + 1 } else { self.now + lat };
+            self.domains[c].sched.occupy(group, unit, busy_until);
+            self.domains[c].iq_used[Domain::of(class).index()] -= 1;
+            self.observer.on_issue(self.now, seq, c);
+            self.rob[idx].distant = head_seq.is_some_and(|h| seq - h >= DISTANT_DEPTH);
+            // Train the criticality predictor with the operand that
+            // arrived last.
+            if self.rob[idx].src_present == [true, true] {
+                let [a0, a1] = self.rob[idx].src_arrival;
+                self.crit.update(self.rob[idx].d.pc, usize::from(a1 >= a0));
+            }
+            match class {
+                OpClass::Load => self
+                    .schedule(c, self.now + self.cfg.exec.int_alu, EventKind::LoadAddr { seq }),
+                OpClass::Store => self
+                    .schedule(c, self.now + self.cfg.exec.int_alu, EventKind::StoreAddr { seq }),
+                _ => self.schedule(c, self.now + lat, EventKind::WriteBack { seq }),
+            }
+        }
+        self.domains[c].selected = selected;
     }
 }

@@ -14,15 +14,19 @@
 //! cycle loop ([`Processor::run`]/`step_cycle`); each pipeline stage
 //! lives in its own submodule operating on that state:
 //!
-//! - `events` — the sharded event queues and every event handler
+//! - `domain` — the per-cluster [`ClusterDomain`]: the state one
+//!   cluster owns exclusively (calendar shard, scheduler ring,
+//!   occupancies, value-copy tables).
+//! - `events` — the global event coordinator and every event handler
 //!   (writeback, address resolution, LSQ arrival, store broadcast).
 //! - `commit` — in-order retirement, policy requests, and
 //!   reconfiguration.
 //! - `issue` — per-cluster select/issue with quiescence skipping.
 //! - `dispatch` — rename, steering, and structural-hazard checks.
 //! - `fetch` — branch prediction and the fetch queue.
+//! - `pool` — the scoped spin-barrier pool behind `--intra-jobs`.
 //!
-//! # Sharding and quiescence
+//! # Sharding, quiescence, and intra-run parallelism
 //!
 //! The event queue is sharded per physical cluster and the issue stage
 //! keeps a bitmask of clusters with queued instructions, so a cycle's
@@ -32,17 +36,25 @@
 //! `(time, tick)` order of a single queue, so the computed schedule is
 //! bit-identical to the pre-sharding simulator (see DESIGN.md and the
 //! oracle pin in `tests/shard_equivalence.rs`).
+//!
+//! With [`SimConfig::intra_jobs`] non-zero the drain and issue stages
+//! run their per-domain halves (gather, select) across a scoped
+//! thread pool and apply the results on the main thread in the
+//! sequential order — same schedule, pinned bit-identical by
+//! `tests/parallel_equivalence.rs`.
 
 mod commit;
 mod dispatch;
+mod domain;
 mod events;
 mod fetch;
 mod issue;
+mod pool;
 
 use crate::bankpred::BankPredictor;
 use crate::bpred::BranchPredictor;
 use crate::cache::MemHierarchy;
-use crate::cluster::{Cluster, FuGroup};
+use crate::cluster::FuGroup;
 use crate::config::{CacheModel, ConfigError, SimConfig, MAX_CLUSTERS};
 use crate::crit::CriticalityPredictor;
 use crate::interconnect::Interconnect;
@@ -53,7 +65,9 @@ use crate::stats::SimStats;
 use crate::steer::{Steering, SteeringKind};
 use clustered_emu::{DecodedInst, TraceSource};
 use clustered_isa::{ArchReg, OpClass};
-use events::EventShards;
+use domain::ClusterDomain;
+use events::{EventCoordinator, EventKind};
+use pool::IntraPool;
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
@@ -62,6 +76,12 @@ const ABSENT: u64 = u64::MAX;
 
 /// Waiter slot marking a store's data operand.
 const STORE_VALUE_SLOT: u8 = 2;
+
+/// Minimum per-phase fan-out (due shards, busy clusters) before a
+/// phase is worth handing to the pool: below this the barrier costs
+/// more than the work. Purely a host-side gate — the simulated
+/// schedule is identical either way.
+const FANOUT_MIN: usize = 4;
 
 /// A simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,14 +125,23 @@ struct Fetched {
 // `RobEntry::copies_mask` carries one validity bit per cluster.
 const _: () = assert!(MAX_CLUSTERS <= 16, "copies_mask is a u16");
 
+/// One in-flight instruction.
+///
+/// Cluster-valued fields are `u8` (`MAX_CLUSTERS` is 16) and the bank
+/// index `u16`, trimming the entry the commit stage copies and the
+/// dispatch stage fills; the former 128-byte per-cluster `copies`
+/// table lives in the [`ClusterDomain`] value-copy tables, indexed by
+/// this entry's physical ROB slot, so the hot scalar stream no longer
+/// strides over it (ROADMAP "backend wall, round two"; measured in
+/// EXPERIMENTS.md).
 #[derive(Debug)]
 struct RobEntry {
     d: DecodedInst,
     class: OpClass,
-    cluster: usize,
+    cluster: u8,
     dest: Option<ArchReg>,
     /// Physical register to free at commit: (cluster, domain index).
-    frees: Option<(usize, usize)>,
+    frees: Option<(u8, u8)>,
     srcs_outstanding: u8,
     /// When each gating source operand arrived (criticality training).
     src_arrival: [u64; 2],
@@ -123,29 +152,29 @@ struct RobEntry {
     done_at: u64,
     distant: bool,
     mispredicted: bool,
-    /// Cycles-per-cluster availability of this entry's result. Slot
-    /// `c` is meaningful only when bit `c` of `copies_mask` is set —
-    /// the mask is what dispatch resets, so slot reuse costs two bytes
-    /// instead of re-filling this whole array with `ABSENT`.
-    copies: [u64; MAX_CLUSTERS],
-    /// Bit `c` ⇔ `copies[c]` holds this entry's arrival at cluster `c`.
+    /// Bit `c` ⇔ the domain-`c` value-copy table holds this entry's
+    /// arrival cycle at cluster `c` (under the entry's physical slot).
+    /// The mask is what dispatch resets on slot reuse, so the copy
+    /// tables are never re-filled with `ABSENT`.
     copies_mask: u16,
     /// Consumers waiting on this result: (seq, cluster, source slot —
     /// 0/1 for issue-gating operands, [`STORE_VALUE_SLOT`] for a
     /// store's data).
-    waiters: Vec<(u64, usize, u8)>,
+    waiters: Vec<(u64, u8, u8)>,
     /// Stores: cycle the AGU produced the address (`ABSENT` until then).
     agu_done: u64,
     /// Stores: cycle the data value is available in the store's cluster
     /// (`ABSENT` until known).
     store_value_at: u64,
-    /// Memory: resolved bank and its cluster.
-    bank: usize,
-    bank_cluster: usize,
+    /// Memory: resolved bank and its cluster. The bank is `u16`: the
+    /// centralized model's bank count is a free parameter, only
+    /// validated to a power of two.
+    bank: u16,
+    bank_cluster: u8,
     /// LSQ slice the entry's slot was allocated in.
-    alloc_slice: usize,
+    alloc_slice: u8,
     /// Active cluster count when dispatched.
-    active_at_dispatch: usize,
+    active_at_dispatch: u8,
 }
 
 impl RobEntry {
@@ -175,7 +204,6 @@ impl RobEntry {
             done_at: 0,
             distant: false,
             mispredicted: false,
-            copies: [ABSENT; MAX_CLUSTERS],
             copies_mask: 0,
             waiters: Vec::new(),
             agu_done: ABSENT,
@@ -249,6 +277,19 @@ impl RobRing {
         self.head = (self.head + 1) & self.mask;
         self.len -= 1;
     }
+
+    /// Physical slot of logical position `i` — stable for the entry's
+    /// whole lifetime, keying the per-domain value-copy tables.
+    #[inline]
+    fn slot_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.len, "ROB slot of {i} out of {}", self.len);
+        (self.head + i) & self.mask
+    }
+
+    /// Physical slot count (the rounded-up power of two).
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
 }
 
 impl std::ops::Index<usize> for RobRing {
@@ -284,20 +325,16 @@ pub struct Processor<T, O = NullObserver> {
     bankpred: BankPredictor,
     crit: CriticalityPredictor,
     steering: Steering,
-    clusters: Vec<Cluster>,
-    /// Issue-queue occupancy, `[domain][cluster]`. Dense (rather than
-    /// a field of [`Cluster`]) because dispatch builds a steering
-    /// snapshot over every active cluster per instruction — one array
-    /// walk instead of striding across sixteen `Cluster` structs.
-    iq_used: [[usize; MAX_CLUSTERS]; 2],
-    /// Free physical registers, `[domain][cluster]`; dense for the
-    /// same reason.
-    free_regs: [[usize; MAX_CLUSTERS]; 2],
+    /// One [`ClusterDomain`] per physical cluster: the scheduler ring,
+    /// calendar shard, IQ/free-reg occupancy, and value-availability
+    /// state that cluster owns exclusively. Everything cross-cluster —
+    /// register copies, interconnect hops, LSQ/cache traffic, commit —
+    /// goes through the event coordinator or runs on the main thread.
+    domains: Vec<ClusterDomain>,
     lsq: Vec<LsqSlice>,
     rob: RobRing,
     rename: [Option<u64>; 64],
     arch_home: [usize; 64],
-    arch_avail: [[u64; MAX_CLUSTERS]; 64],
     fetch_queue: VecDeque<Fetched>,
     /// Reused fetch-stage scratch buffer for one decoded run (the
     /// instructions up to and including the next control transfer).
@@ -306,10 +343,11 @@ pub struct Processor<T, O = NullObserver> {
     awaiting_redirect: bool,
     dispatch_stall_until: u64,
     trace_done: bool,
-    /// Reused issue-selection scratch buffer.
-    selected: Vec<(u64, FuGroup, usize)>,
-    /// Per-cluster event queues in one global `(time, tick)` order.
-    events: EventShards,
+    /// Global `(time, tick)` ordering state over the domains' calendar
+    /// shards.
+    events: EventCoordinator,
+    /// Reused batch-drain merge scratch: `(time, tick, shard, kind)`.
+    drain_scratch: Vec<(u64, u64, u32, EventKind)>,
     /// Bit `c` set ⇔ cluster `c` has queued (dispatched, operands
     /// ready or pending) instructions; the issue stage visits only set
     /// bits. Maintained by [`Processor::cluster_enqueue`] and the
@@ -419,15 +457,17 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             arch_home[r] = home;
             reserved[home][usize::from(r >= 32)] += 1;
         }
-        let clusters: Vec<Cluster> = (0..count).map(|_| Cluster::new(&cfg.clusters)).collect();
-        let mut free_regs = [[0usize; MAX_CLUSTERS]; 2];
-        for c in 0..count {
+        let rob = RobRing::new(cfg.frontend.rob_size);
+        let rob_slots = rob.capacity();
+        let mut domains: Vec<ClusterDomain> =
+            (0..count).map(|_| ClusterDomain::new(&cfg.clusters, rob_slots)).collect();
+        for (c, d) in domains.iter_mut().enumerate() {
             assert!(
                 reserved[c][0] < cfg.clusters.int_regs && reserved[c][1] < cfg.clusters.fp_regs,
                 "architectural state exceeds the cluster register file"
             );
-            free_regs[0][c] = cfg.clusters.int_regs - reserved[c][0];
-            free_regs[1][c] = cfg.clusters.fp_regs - reserved[c][1];
+            d.free_regs[0] = cfg.clusters.int_regs - reserved[c][0];
+            d.free_regs[1] = cfg.clusters.fp_regs - reserved[c][1];
         }
         let lsq = match cfg.cache.model {
             CacheModel::Centralized => vec![LsqSlice::new(cfg.cache.lsq_per_cluster * count)],
@@ -447,22 +487,19 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             bankpred: BankPredictor::new(&cfg.bankpred),
             crit: CriticalityPredictor::new(cfg.crit.table_size),
             steering: Steering::new(steering),
-            clusters,
-            iq_used: [[0; MAX_CLUSTERS]; 2],
-            free_regs,
+            domains,
             lsq,
-            rob: RobRing::new(cfg.frontend.rob_size),
+            rob,
             rename: [None; 64],
             arch_home,
-            arch_avail: [[0; MAX_CLUSTERS]; 64],
             fetch_queue: VecDeque::with_capacity(cfg.frontend.fetch_queue),
             fetch_run: Vec::with_capacity(cfg.frontend.fetch_width),
             fetch_stall_until: 0,
             awaiting_redirect: false,
             dispatch_stall_until: 0,
             trace_done: false,
-            selected: Vec::new(),
-            events: EventShards::new(count),
+            events: EventCoordinator::new(count),
+            drain_scratch: Vec::new(),
             queued_mask: 0,
             loads_waiting_data: Vec::new(),
             waiting_scratch: Vec::new(),
@@ -519,8 +556,8 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             rob: self.rob.len(),
             fetch_queue: self.fetch_queue.len(),
             active: self.active,
-            free_regs: (0..self.active).map(|c| [self.free_regs[0][c], self.free_regs[1][c]]).collect(),
-            iq_used: (0..self.active).map(|c| [self.iq_used[0][c], self.iq_used[1][c]]).collect(),
+            free_regs: self.domains[..self.active].iter().map(|d| d.free_regs).collect(),
+            iq_used: self.domains[..self.active].iter().map(|d| d.iq_used).collect(),
             lsq_used: self.lsq.iter().map(LsqSlice::occupancy).collect(),
         }
     }
@@ -539,10 +576,40 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     /// [`SimError::Stalled`] if the pipeline stops making progress (an
     /// internal invariant violation, not a program property).
     pub fn run(&mut self, instructions: u64) -> Result<SimStats, SimError> {
+        // `intra_jobs` is a host-execution knob: the parallel path
+        // computes the bit-identical schedule (pinned by
+        // `tests/parallel_equivalence.rs`), it just drains/selects the
+        // domains on more threads. Below two participants there is no
+        // pool — `intra_jobs == 1` still exercises the batched path,
+        // single-threaded.
+        let threads = self.cfg.intra_jobs.min(self.domains.len());
+        if threads >= 2 {
+            let state = pool::PoolState::new();
+            std::thread::scope(|scope| {
+                // Shuts the workers down even if `run_loop` panics;
+                // otherwise the scope's implicit join would deadlock.
+                let _guard = pool::ShutdownGuard(&state);
+                for t in 1..threads {
+                    let state = &state;
+                    scope.spawn(move || pool::worker(state, t, threads));
+                }
+                let intra = IntraPool::new(&state, threads);
+                self.run_loop(instructions, Some(&intra))
+            })
+        } else {
+            self.run_loop(instructions, None)
+        }
+    }
+
+    fn run_loop(
+        &mut self,
+        instructions: u64,
+        pool: Option<&IntraPool>,
+    ) -> Result<SimStats, SimError> {
         let target = self.stats.committed + instructions;
         let mut last_progress = (self.stats.committed, self.now);
         while self.stats.committed < target && !self.finished() {
-            self.step_cycle();
+            self.step_cycle(pool);
             if self.stats.committed != last_progress.0 {
                 last_progress = (self.stats.committed, self.now);
             } else if self.now - last_progress.1 > 1_000_000 {
@@ -559,11 +626,11 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     /// [`NullObserver`](crate::NullObserver) build compiles to
     /// [`step_cycle_plain`](Self::step_cycle_plain) — byte-for-byte the
     /// pre-profiler loop — and pays nothing for the instrumentation.
-    fn step_cycle(&mut self) {
+    fn step_cycle(&mut self, pool: Option<&IntraPool>) {
         if O::WANTS_HOST_PROFILE {
-            self.step_cycle_profiled();
+            self.step_cycle_profiled(pool);
         } else {
-            self.step_cycle_plain();
+            self.step_cycle_plain(pool);
         }
         // `WANTS_AUDIT` is likewise a `const`: the default build
         // compiles the snapshot assembly away entirely. The snapshot
@@ -577,7 +644,15 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     /// Assembles the end-of-cycle [`crate::AuditCheck`] snapshot and
     /// hands it to the observer. Called only when `O::WANTS_AUDIT`.
     fn deliver_audit(&mut self) {
-        let (events_pushed, events_popped, events_pending) = self.events.conservation();
+        let (events_pushed, events_popped, events_pending) =
+            self.events.conservation(&self.domains);
+        // The auditor's dense `[domain][cluster]` view, assembled from
+        // the per-domain owners; audit is off the hot path.
+        let mut iq_used = [[0usize; MAX_CLUSTERS]; 2];
+        for (c, d) in self.domains.iter().enumerate() {
+            iq_used[0][c] = d.iq_used[0];
+            iq_used[1][c] = d.iq_used[1];
+        }
         let check = crate::audit::AuditCheck {
             cycle: self.now,
             stats: &self.stats,
@@ -585,11 +660,11 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             rob_capacity: self.cfg.frontend.rob_size,
             fetch_queue_len: self.fetch_queue.len(),
             fetch_queue_capacity: self.cfg.frontend.fetch_queue,
-            iq_used: &self.iq_used,
+            iq_used: &iq_used,
             iq_capacity: [self.cfg.clusters.int_iq, self.cfg.clusters.fp_iq],
             lsq: &self.lsq,
             active_clusters: self.active,
-            configured_clusters: self.clusters.len(),
+            configured_clusters: self.domains.len(),
             events_pushed,
             events_popped,
             events_pending,
@@ -597,12 +672,20 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
         self.observer.on_audit(&check);
     }
 
-    fn step_cycle_plain(&mut self) {
+    fn step_cycle_plain(&mut self, pool: Option<&IntraPool>) {
         self.now += 1;
-        self.drain_events();
+        if self.cfg.intra_jobs == 0 {
+            self.drain_events();
+        } else {
+            self.drain_events_batched(pool);
+        }
         self.commit();
         self.apply_reconfig();
-        self.issue();
+        if self.cfg.intra_jobs == 0 {
+            self.issue();
+        } else {
+            self.issue_split(pool);
+        }
         self.dispatch();
         self.fetch();
         self.stats.cycles += 1;
@@ -618,17 +701,25 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     /// effect are identical — the timers and the end-of-cycle health
     /// sample only *read* state — so profiled `SimStats` match the
     /// plain loop bit for bit (pinned by the host-profile tests).
-    fn step_cycle_profiled(&mut self) {
+    fn step_cycle_profiled(&mut self, pool: Option<&IntraPool>) {
         use crate::host::{QueueHealth, HOST_STAGE_COUNT};
         use std::time::Instant;
         self.now += 1;
         let mut marks = [Instant::now(); HOST_STAGE_COUNT + 1];
-        self.drain_events();
+        if self.cfg.intra_jobs == 0 {
+            self.drain_events();
+        } else {
+            self.drain_events_batched(pool);
+        }
         marks[1] = Instant::now();
         self.commit();
         self.apply_reconfig();
         marks[2] = Instant::now();
-        self.issue();
+        if self.cfg.intra_jobs == 0 {
+            self.issue();
+        } else {
+            self.issue_split(pool);
+        }
         marks[3] = Instant::now();
         self.dispatch();
         marks[4] = Instant::now();
@@ -645,7 +736,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             *n = marks[i + 1].duration_since(marks[i]).as_nanos() as u64;
         }
         self.observer.on_stage_nanos(&nanos);
-        let (calendar_events, overflow_events, floor) = self.events.health();
+        let (calendar_events, overflow_events, floor) = self.events.health(&self.domains);
         self.observer.on_queue_health(&QueueHealth {
             cycle: self.now,
             calendar_events,
@@ -653,7 +744,12 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
             floor,
             queued_mask: self.queued_mask,
             active_clusters: self.active,
-            configured_clusters: self.clusters.len(),
+            configured_clusters: self.domains.len(),
+            intra_threads: if self.cfg.intra_jobs == 0 {
+                0
+            } else {
+                pool.map_or(1, IntraPool::threads)
+            },
         });
     }
 
@@ -678,7 +774,7 @@ impl<T: TraceSource, O: SimObserver> Processor<T, O> {
     /// non-quiescent. Every enqueue must come through here so
     /// `queued_mask` stays in sync with the clusters' queues.
     fn cluster_enqueue(&mut self, cluster: usize, group: FuGroup, ready_at: u64, seq: u64) {
-        self.clusters[cluster].enqueue(group, ready_at, seq);
+        self.domains[cluster].sched.enqueue(group, ready_at, seq);
         self.queued_mask |= 1 << cluster;
     }
 }

@@ -1,0 +1,277 @@
+//! The scoped spin-barrier pool behind `--intra-jobs`.
+//!
+//! Intra-run parallelism runs two phases of each cycle across worker
+//! threads: the event-drain *gather* (each due shard empties into its
+//! own domain's scratch) and the issue-stage *select* (each busy
+//! cluster picks its issue set). Both phases touch exactly one
+//! [`ClusterDomain`] per cluster and nothing else — that ownership
+//! partition is the whole point of the domain refactor — so workers
+//! can share the domain slice with no locks: worker `t` visits
+//! clusters `t, t + threads, …`, a disjoint partition by construction.
+//!
+//! The pool is deliberately primitive: one generation counter the
+//! main thread bumps to start a phase, one completion counter the
+//! workers bump when done, spin-then-yield waiting on both sides.
+//! Phases are issued up to twice per simulated cycle (hundreds of
+//! nanoseconds apart), so parking a thread through the OS would cost
+//! more than the work; busy-wait with [`std::hint::spin_loop`] is the
+//! only latency-viable handoff. Workers live in a
+//! [`std::thread::scope`] owned by [`Processor::run`], which also
+//! holds a [`ShutdownGuard`] so the scope's implicit join cannot
+//! deadlock even if the simulation loop panics.
+//!
+//! Determinism: the pool only changes *which host thread* runs a
+//! domain's gather/select, never the simulated order — gathered
+//! events are merged by global `(time, tick)` and selections are
+//! applied in ascending cluster order afterwards, both on the main
+//! thread. `tests/parallel_equivalence.rs` pins bit-identity against
+//! the sequential oracle across thread counts.
+//!
+//! [`Processor::run`]: super::Processor::run
+
+// The only unsafe code in the crate (`lib.rs` is `deny(unsafe_code)`):
+// the raw-pointer domain partition below, with the safety argument on
+// `work_partition`.
+#![allow(unsafe_code)]
+
+use super::domain::ClusterDomain;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Phase tag: per-cluster issue select into `domain.selected`.
+const PHASE_SELECT: usize = 0;
+/// Phase tag: per-shard due-event gather into `domain.gathered`.
+const PHASE_GATHER: usize = 1;
+
+/// Spins before each busy-wait starts yielding the CPU to the OS.
+///
+/// Small on purpose: on an unloaded multicore host a phase handoff
+/// lands within a few dozen spins, so a short window captures the
+/// fast path, while on an oversubscribed host (more participants than
+/// cores — CI containers are routinely single-core) every spin beyond
+/// the window only starves the thread that would make progress.
+/// Yield-based handoff there costs a scheduler pass per phase instead
+/// of a burned timeslice.
+const SPINS_BEFORE_YIELD: u32 = 128;
+
+/// Shared coordination state between the main thread and the workers.
+/// All fields are atomics so the whole protocol is lock-free; the
+/// parameter fields (`phase` … `len`) are published by the `Release`
+/// bump of `generation` and read after the workers' `Acquire` load of
+/// it, so `Relaxed` suffices on the fields themselves.
+#[derive(Debug, Default)]
+pub(super) struct PoolState {
+    /// Bumped (`Release`) to start a phase; `u64::MAX` means shut down.
+    generation: AtomicU64,
+    /// Workers finished with the current generation (main excluded).
+    done: AtomicUsize,
+    /// Set when a worker's phase body panicked; the main thread
+    /// re-raises after the barrier so the panic is not swallowed.
+    poisoned: AtomicBool,
+    /// Phase tag for the current generation.
+    phase: AtomicUsize,
+    /// Cluster mask to visit this phase.
+    mask: AtomicU32,
+    /// Simulated cycle for this phase.
+    now: AtomicU64,
+    /// Event-queue floor (gather phase only).
+    floor: AtomicU64,
+    /// The domain slice: base pointer (as usize) and length,
+    /// republished every phase because the slice lives in the
+    /// `Processor` the main thread owns.
+    domains: AtomicUsize,
+    len: AtomicUsize,
+}
+
+impl PoolState {
+    pub(super) fn new() -> PoolState {
+        PoolState::default()
+    }
+
+    /// Tells every worker to exit its wait loop and return.
+    /// Idempotent; safe to call from a `Drop` guard.
+    pub(super) fn shutdown(&self) {
+        self.generation.store(u64::MAX, Ordering::Release);
+    }
+}
+
+/// Shuts the pool down on drop, so a panic unwinding out of the
+/// simulation loop releases the workers before `thread::scope` joins
+/// them — without this, a main-thread panic would deadlock the join.
+pub(super) struct ShutdownGuard<'a>(pub(super) &'a PoolState);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// One phase's parameters, as published through [`PoolState`].
+#[derive(Clone, Copy)]
+struct Phase {
+    tag: usize,
+    mask: u32,
+    now: u64,
+    floor: u64,
+}
+
+/// Runs worker `t`'s share of the phase: clusters `t, t + threads, …`
+/// restricted to the phase's mask.
+///
+/// # Safety
+///
+/// `ptr..ptr + len` must be a live, exclusively-borrowed
+/// `[ClusterDomain]` for the whole phase, with every participant —
+/// the main thread included — working through *this same provenance*
+/// (the pointer published in [`PoolState`]) and distinct `t` values
+/// over a common `threads`. The strided partition then gives each
+/// participant a disjoint set of elements, so the `&mut` references
+/// formed here never alias.
+unsafe fn work_partition(
+    ptr: *mut ClusterDomain,
+    len: usize,
+    t: usize,
+    threads: usize,
+    phase: Phase,
+) {
+    let mut c = t;
+    while c < len {
+        if phase.mask >> c & 1 == 1 {
+            // SAFETY: `c < len` and the strided partition makes `c`
+            // unique to this participant (see function-level contract).
+            let d = unsafe { &mut *ptr.add(c) };
+            match phase.tag {
+                PHASE_SELECT => {
+                    d.selected.clear();
+                    d.sched.select(phase.now, &mut d.selected);
+                }
+                _ => d.gather_due(phase.now, phase.floor),
+            }
+        }
+        c += threads;
+    }
+}
+
+/// The worker-thread body: wait for a generation, run the partition,
+/// report done, repeat until shutdown.
+pub(super) fn worker(state: &PoolState, t: usize, threads: usize) {
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        let generation = loop {
+            let g = state.generation.load(Ordering::Acquire);
+            if g != seen {
+                break g;
+            }
+            if spins < SPINS_BEFORE_YIELD {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        };
+        if generation == u64::MAX {
+            return;
+        }
+        seen = generation;
+        let ptr = state.domains.load(Ordering::Relaxed) as *mut ClusterDomain;
+        let len = state.len.load(Ordering::Relaxed);
+        let phase = Phase {
+            tag: state.phase.load(Ordering::Relaxed),
+            mask: state.mask.load(Ordering::Relaxed),
+            now: state.now.load(Ordering::Relaxed),
+            floor: state.floor.load(Ordering::Relaxed),
+        };
+        // A panicking phase body must still reach the `done` bump or
+        // the main thread's barrier would hang; catch, flag, re-raise
+        // from the main thread after the barrier.
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the main thread published a live `&mut
+            // [ClusterDomain]` for this generation and participates
+            // with its own `t` over the same `threads`; see
+            // `work_partition`'s contract.
+            unsafe { work_partition(ptr, len, t, threads, phase) }
+        }))
+        .is_err();
+        if panicked {
+            state.poisoned.store(true, Ordering::Release);
+        }
+        state.done.fetch_add(1, Ordering::Release);
+        if panicked {
+            // This worker is done for good; the main thread notices
+            // `poisoned` at the barrier it just completed and panics.
+            return;
+        }
+    }
+}
+
+/// The main thread's handle on a running pool: issues phases and acts
+/// as worker 0 in each.
+#[derive(Debug)]
+pub(super) struct IntraPool<'a> {
+    state: &'a PoolState,
+    /// Total participants, main thread included; `threads - 1` workers.
+    threads: usize,
+}
+
+impl<'a> IntraPool<'a> {
+    pub(super) fn new(state: &'a PoolState, threads: usize) -> IntraPool<'a> {
+        debug_assert!(threads >= 2, "a pool below two participants is pointless");
+        IntraPool { state, threads }
+    }
+
+    /// Participants in each phase, main thread included.
+    pub(super) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Issue-select phase over the clusters in `mask`.
+    pub(super) fn select(&self, domains: &mut [ClusterDomain], mask: u32, now: u64) {
+        self.run_phase(domains, PHASE_SELECT, mask, now, 0);
+    }
+
+    /// Event-gather phase over the shards in `mask`.
+    pub(super) fn gather(&self, domains: &mut [ClusterDomain], mask: u32, now: u64, floor: u64) {
+        self.run_phase(domains, PHASE_GATHER, mask, now, floor);
+    }
+
+    fn run_phase(&self, domains: &mut [ClusterDomain], tag: usize, mask: u32, now: u64, floor: u64) {
+        let state = self.state;
+        let ptr = domains.as_mut_ptr();
+        let len = domains.len();
+        let phase = Phase { tag, mask, now, floor };
+        state.phase.store(tag, Ordering::Relaxed);
+        state.mask.store(mask, Ordering::Relaxed);
+        state.now.store(now, Ordering::Relaxed);
+        state.floor.store(floor, Ordering::Relaxed);
+        state.domains.store(ptr as usize, Ordering::Relaxed);
+        state.len.store(len, Ordering::Relaxed);
+        state.done.store(0, Ordering::Relaxed);
+        state.generation.fetch_add(1, Ordering::Release);
+        // Work the main thread's own partition — through the SAME raw
+        // pointer the workers use, not through `domains`, so every
+        // `&mut ClusterDomain` in flight shares one provenance while
+        // workers hold derived pointers.
+        //
+        // SAFETY: `domains` is exclusively borrowed for this whole
+        // call, participants use distinct `t` over `self.threads`
+        // (workers are spawned with `t in 1..threads`), and the slice
+        // is not otherwise touched until the barrier below completes.
+        unsafe { work_partition(ptr, len, 0, self.threads, phase) };
+        let mut spins = 0u32;
+        while state.done.load(Ordering::Acquire) != self.threads - 1 {
+            if spins < SPINS_BEFORE_YIELD {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if state.poisoned.load(Ordering::Acquire) {
+            // A worker's phase body panicked (it still reached the
+            // barrier). Release the rest and propagate.
+            state.shutdown();
+            panic!("intra-run pool worker panicked during a phase");
+        }
+    }
+}

@@ -20,7 +20,12 @@ echo "==> schedule oracles under debug assertions"
 # than silently shipping. Explicit even though the workspace test run
 # above also covers them — this gate must survive that step ever
 # moving to --release.
-cargo test --quiet --test shard_equivalence --test compiled_replay
+#
+# parallel_equivalence re-runs the 360-point matrix at 1/2/4 intra-run
+# threads: the pool's raw-pointer domain partition and the batched
+# event-drain invariants are exactly the kind of code whose bugs only
+# debug_assert! catches.
+cargo test --quiet --test shard_equivalence --test compiled_replay --test parallel_equivalence
 
 echo "==> flat-scheduler property suite (slow-tests feature)"
 # Model-based equivalence of Cluster::select against the reference

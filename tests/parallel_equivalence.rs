@@ -1,0 +1,191 @@
+//! Parallel-equivalence suite: the intra-run thread pool
+//! (`SimConfig::intra_jobs`) is a host-execution knob, not a model
+//! knob — the simulated schedule must be bit-identical to the
+//! sequential oracle at every thread count, and repeated runs at a
+//! fixed thread count must agree with each other.
+//!
+//! Two pins:
+//!
+//! 1. The full workload × cache-model × policy-family × cluster-count
+//!    matrix (the same 360 points `tests/shard_equivalence.rs` runs)
+//!    against `tests/shard_oracle.json`, at 1, 2, and 4 intra-run
+//!    threads. `intra_jobs = 1` exercises the batched round-based
+//!    drain and split issue phases without spawning workers; 2 and 4
+//!    add the pool and its strided domain partition.
+//! 2. Run-twice determinism at a fixed thread count: thread
+//!    interleaving must not leak into results, only into wall time.
+//!
+//! The oracle is shared with the shard suite on purpose: one file is
+//! the single source of truth for "what the machine computes", and
+//! every execution strategy pins against it.
+
+use clustered_core::{FineGrain, IntervalDistantIlp, IntervalExplore};
+use clustered_sim::{
+    CacheModel, FixedPolicy, Processor, ReconfigPolicy, SimConfig, SimStats,
+};
+use clustered_stats::{json, Json};
+use clustered_workloads::CapturedTrace;
+use std::path::PathBuf;
+
+/// Warm-up / measured instructions per point — must match the shard
+/// suite, since both pin the same oracle.
+const WARMUP: u64 = 1_000;
+const MEASURE: u64 = 4_000;
+const COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+const FAMILIES: [&str; 4] = ["fixed", "explore", "distant", "finegrain"];
+const MODELS: [(&str, CacheModel); 2] =
+    [("cen", CacheModel::Centralized), ("dec", CacheModel::Decentralized)];
+/// The thread-count axis. 1 runs the batched phases inline; ≥ 2 brings
+/// up the worker pool.
+const INTRA: [usize; 3] = [1, 2, 4];
+
+fn oracle_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("shard_oracle.json")
+}
+
+/// One matrix point's configuration and policy — identical to the
+/// shard suite's builder except for the `intra_jobs` override.
+fn point(
+    model: CacheModel,
+    family: &str,
+    n: usize,
+    intra: usize,
+) -> (SimConfig, Box<dyn ReconfigPolicy>) {
+    let mut cfg = SimConfig::default();
+    let policy: Box<dyn ReconfigPolicy> = match family {
+        "fixed" => Box::new(FixedPolicy::new(n)),
+        adaptive => {
+            if n == 1 {
+                cfg = SimConfig::monolithic();
+            } else {
+                cfg.clusters.count = n;
+            }
+            match adaptive {
+                "explore" => Box::new(IntervalExplore::default()),
+                "distant" => Box::new(IntervalDistantIlp::default()),
+                "finegrain" => Box::new(FineGrain::branch_policy()),
+                other => panic!("unknown policy family {other}"),
+            }
+        }
+    };
+    cfg.cache.model = model;
+    cfg.intra_jobs = intra;
+    (cfg, policy)
+}
+
+fn run_point(trace: &CapturedTrace, cfg: SimConfig, policy: Box<dyn ReconfigPolicy>) -> SimStats {
+    let mut cpu = Processor::new(cfg, trace.replay(), policy).expect("valid matrix config");
+    cpu.run(WARMUP).expect("no stall in warm-up");
+    let before = *cpu.stats();
+    cpu.run(MEASURE).expect("no stall");
+    cpu.stats().delta_since(&before)
+}
+
+/// Runs the whole matrix at the given intra-run thread count, one
+/// worker thread per workload, and returns `(label, serialized stats)`
+/// in deterministic matrix order.
+fn run_matrix(intra: usize) -> Vec<(String, Json)> {
+    let workloads = clustered_workloads::all();
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                scope.spawn(move || {
+                    let trace = CapturedTrace::for_window(w, WARMUP, MEASURE);
+                    let mut rows = Vec::new();
+                    for (mname, model) in MODELS {
+                        for family in FAMILIES {
+                            for n in COUNTS {
+                                let (cfg, policy) = point(model, family, n, intra);
+                                let stats = run_point(&trace, cfg, policy);
+                                // Same text round-trip as the oracle, so
+                                // float formatting cannot produce
+                                // spurious mismatches.
+                                let doc = json::parse(&stats.to_json().to_string_compact())
+                                    .expect("SimStats serializes to valid JSON");
+                                rows.push((format!("{}/{mname}/{family}/{n}", w.name()), doc));
+                            }
+                        }
+                    }
+                    rows
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("matrix worker panicked"));
+        }
+    });
+    out
+}
+
+/// The pin: at every supported thread count, every counter of every
+/// matrix point must match the sequential oracle exactly.
+#[test]
+fn parallel_matrix_bit_identical_to_sequential_oracle() {
+    let text = std::fs::read_to_string(oracle_path())
+        .expect("tests/shard_oracle.json missing; regenerate via the shard suite");
+    let oracle = json::parse(&text).expect("oracle parses");
+    let points = oracle.get("points").and_then(Json::as_arr).expect("oracle has points");
+    for intra in INTRA {
+        let fresh = run_matrix(intra);
+        assert_eq!(
+            points.len(),
+            fresh.len(),
+            "matrix shape changed; keep this suite in lockstep with shard_equivalence"
+        );
+        let mut mismatches = Vec::new();
+        for (expected, (label, got)) in points.iter().zip(&fresh) {
+            let elabel = expected.get("label").and_then(Json::as_str).expect("point label");
+            assert_eq!(elabel, label, "matrix order changed");
+            let estats = expected.get("stats").expect("point stats");
+            for key in estats.keys().expect("stats is an object") {
+                let want = estats.get(key);
+                let have = got.get(key);
+                if want != have {
+                    mismatches
+                        .push(format!("{label}: {key}: oracle {want:?} != parallel {have:?}"));
+                }
+            }
+        }
+        assert!(
+            mismatches.is_empty(),
+            "intra_jobs={intra}: {} of {} points diverged from the sequential oracle:\n{}",
+            mismatches.len(),
+            fresh.len(),
+            mismatches.join("\n")
+        );
+    }
+}
+
+/// Run-twice determinism at a fixed thread count: the pool's thread
+/// interleaving must never reach the simulated schedule. One workload's
+/// full inner matrix, twice, at 4 threads.
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    let workloads = clustered_workloads::all();
+    let w = &workloads[0];
+    let trace = CapturedTrace::for_window(w, WARMUP, MEASURE);
+    let run_once = || {
+        let mut rows = Vec::new();
+        for (mname, model) in MODELS {
+            for family in FAMILIES {
+                for n in COUNTS {
+                    let (cfg, policy) = point(model, family, n, 4);
+                    let stats = run_point(&trace, cfg, policy);
+                    rows.push((
+                        format!("{}/{mname}/{family}/{n}", w.name()),
+                        stats.to_json().to_string_compact(),
+                    ));
+                }
+            }
+        }
+        rows
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first.len(), second.len());
+    for ((label, a), (_, b)) in first.iter().zip(&second) {
+        assert_eq!(a, b, "{label}: two runs at intra_jobs=4 disagree");
+    }
+}
